@@ -1,0 +1,7 @@
+"""Bench for section 4.2.3.1: the code-base size measurement harness."""
+
+from repro.experiments.codebase import run
+
+
+def test_sec4231_codebase_comparison(experiment):
+    experiment(run)

@@ -1,0 +1,13 @@
+"""Benches for Tables 1 and 2: the dataflow comparison."""
+
+from repro.experiments.dataflow import run_tab01, run_tab02
+
+
+def test_tab01_condor_dataflow(experiment):
+    """Table 1: 15 steps, 10 channels, 7 entities."""
+    experiment(run_tab01)
+
+
+def test_tab02_condorj2_dataflow(experiment):
+    """Table 2: 15 steps, 4 channels, 5 entities."""
+    experiment(run_tab02)

@@ -1,0 +1,7 @@
+"""Bench for Figure 7: CondorJ2 scheduling throughput vs job length."""
+
+from repro.experiments.fig07_throughput import run
+
+
+def test_fig07_scheduling_throughput(experiment):
+    experiment(run)

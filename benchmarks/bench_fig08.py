@@ -1,0 +1,7 @@
+"""Bench for Figure 8: execute hosts failing to run jobs."""
+
+from repro.experiments.fig08_drops import run
+
+
+def test_fig08_execute_host_drops(experiment):
+    experiment(run)

@@ -1,0 +1,7 @@
+"""Bench for Figure 9: CAS CPU utilisation vs scheduling throughput."""
+
+from repro.experiments.fig09_cpu_vs_rate import run
+
+
+def test_fig09_cas_cpu_vs_rate(experiment):
+    experiment(run)

@@ -1,0 +1,7 @@
+"""Bench for Figure 10: CAS CPU in a 10,000-VM cluster over 8 hours."""
+
+from repro.experiments.fig10_large_cluster import run
+
+
+def test_fig10_large_cluster(experiment):
+    experiment(run)

@@ -1,0 +1,7 @@
+"""Bench for Figure 11: CondorJ2 mixed workload, jobs in progress."""
+
+from repro.experiments.fig11_mixed_inprogress import run
+
+
+def test_fig11_mixed_in_progress(experiment):
+    experiment(run)

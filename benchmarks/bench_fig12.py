@@ -1,0 +1,7 @@
+"""Bench for Figure 12: CondorJ2 mixed workload, turnover rate."""
+
+from repro.experiments.fig12_mixed_turnover import run
+
+
+def test_fig12_mixed_turnover(experiment):
+    experiment(run)

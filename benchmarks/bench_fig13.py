@@ -1,0 +1,7 @@
+"""Bench for Figure 13: Condor scheduling rate vs queue length."""
+
+from repro.experiments.fig13_condor_rate_vs_qlen import run
+
+
+def test_fig13_condor_rate_vs_queue(experiment):
+    experiment(run)

@@ -1,0 +1,7 @@
+"""Bench for Figure 14: Condor schedd CPU vs queue length."""
+
+from repro.experiments.fig14_condor_cpu_vs_qlen import run
+
+
+def test_fig14_condor_cpu_vs_queue(experiment):
+    experiment(run)

@@ -1,0 +1,7 @@
+"""Bench for Figure 15: Condor mixed workload, no schedd limit."""
+
+from repro.experiments.fig15_condor_mixed_nolimit import run
+
+
+def test_fig15_condor_mixed_nolimit(experiment):
+    experiment(run)

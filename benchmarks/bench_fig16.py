@@ -1,0 +1,7 @@
+"""Bench for Figure 16: Condor mixed workload, schedd limit 60."""
+
+from repro.experiments.fig16_condor_mixed_limited import run
+
+
+def test_fig16_condor_mixed_limited(experiment):
+    experiment(run)

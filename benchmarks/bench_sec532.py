@@ -1,0 +1,7 @@
+"""Bench for section 5.3.2: Condor fails at 5,000 running jobs."""
+
+from repro.experiments.sec532_condor_large import run
+
+
+def test_sec532_condor_large_cluster(experiment):
+    experiment(run)

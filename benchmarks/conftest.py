@@ -1,0 +1,29 @@
+"""Benchmark harness configuration.
+
+Each bench runs one paper experiment end to end inside pytest-benchmark
+(pedantic mode, one round: these are macro-benchmarks of whole simulated
+experiments, not micro-benchmarks) and prints the experiment summary —
+the same rows and series the paper reports.
+"""
+
+import pytest
+
+
+def run_experiment(benchmark, runner, **kwargs):
+    """Run one experiment under the benchmark timer and print its report."""
+    result = benchmark.pedantic(lambda: runner(**kwargs), rounds=1, iterations=1)
+    print()
+    print(result.summary())
+    assert result.all_checks_pass(), (
+        "paper-shape checks failed: "
+        + "; ".join(c.name for c in result.failed_checks())
+    )
+    return result
+
+
+@pytest.fixture
+def experiment(benchmark):
+    """Fixture exposing the experiment runner helper."""
+    def _run(runner, **kwargs):
+        return run_experiment(benchmark, runner, **kwargs)
+    return _run

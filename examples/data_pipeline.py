@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""A two-stage scientific pipeline with data sets and provenance.
+
+This exercises the paper's section 6 future-work features end to end:
+
+* a dependency workflow (stage-1 jobs feed stage-2 jobs, section 5.1.3);
+* data-set registration with k-safe replication;
+* provenance records answering "what produced this output?".
+
+Run:  python examples/data_pipeline.py
+"""
+
+from repro.cluster import ClusterSpec, RELIABLE_EXECUTION
+from repro.condorj2 import CondorJ2System
+from repro.condorj2.datamgmt import DatasetService
+from repro.condorj2.provenance import ProvenanceService
+from repro.workload import two_stage_workflow
+
+
+def main() -> None:
+    system = CondorJ2System(
+        ClusterSpec(physical_nodes=6, vms_per_node=2),
+        seed=3,
+        execution=RELIABLE_EXECUTION,
+    )
+    datasets = DatasetService(system.cas.container, default_k=2)
+    provenance = ProvenanceService(system.cas.container)
+
+    # A 16 -> 4 two-stage workflow: stage-1 outputs feed stage-2 inputs.
+    workflow = two_stage_workflow(stage1_count=16, stage2_count=4,
+                                  stage1_seconds=30.0, stage2_seconds=120.0,
+                                  fan_in=4, owner="science")
+    system.submit_at(0.0, workflow.jobs)
+    system.run_until_complete(expected_jobs=len(workflow.jobs),
+                              max_seconds=7200.0)
+    print(f"pipeline of {len(workflow.jobs)} jobs completed "
+          f"at t={system.sim.now:.0f}s (dependencies honoured by the "
+          "set-oriented scheduler)\n")
+
+    # Register stage outputs as managed data sets and record provenance.
+    now = system.sim.now
+    machines = [node.name for node in system.nodes]
+    for job in workflow.jobs:
+        for output in job.output_files:
+            dataset_id = datasets.register_dataset(
+                output, "science", size_mb=64.0, now=now
+            )
+            datasets.add_replica(dataset_id, machines[dataset_id % len(machines)], now)
+            provenance.record(
+                output, job.job_id, job.cmd, now,
+                executable_version="v1.3",
+                inputs=job.input_files,
+            )
+    for index, job in enumerate(j for j in workflow.jobs if j.depends_on):
+        provenance.record(
+            f"final.{index}.result", job.job_id, job.cmd, now,
+            executable_version="v1.3", inputs=job.input_files,
+        )
+
+    # k-safety: every data set wants 2 replicas but has 1.
+    plan = datasets.repair_plan(machines)
+    print(f"k-safety repair plan: {len(plan)} transfers needed "
+          f"(k=2, one replica each); first: {plan[0] if plan else None}\n")
+
+    # Provenance: the paper's motivating question, answered by a query.
+    question = "final.0.result"
+    derivation = provenance.derivation_of(question)
+    print(f"what produced {question!r}?")
+    print(f"  executable {derivation['executable']} "
+          f"{derivation['executable_version']} (job {derivation['job_id']})")
+    print(f"  from inputs {derivation['inputs']}")
+    lineage = provenance.lineage(question)
+    print(f"  full lineage: {len(lineage)} derivation records")
+
+
+if __name__ == "__main__":
+    main()

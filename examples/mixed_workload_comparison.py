@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Head-to-head: the mixed workload on Condor vs CondorJ2.
+
+A scaled-down version of the paper's sections 5.2.3 / 5.3.3 experiment:
+the same 4:1 mix of one-minute and six-minute jobs on the same cluster,
+scheduled by the process-centric baseline (three throttled schedds) and
+by the data-centric system.  The output shows the shapes the paper
+reports: CondorJ2 finishes near the optimal makespan by brute force,
+while unlimited Condor schedds drain one at a time and take ~2x longer.
+
+Run:  python examples/mixed_workload_comparison.py
+"""
+
+from repro.cluster import ClusterSpec, RELIABLE_EXECUTION
+from repro.condor import CondorConfig, CondorPool
+from repro.condorj2 import CondorJ2System
+from repro.metrics import ascii_chart
+from repro.sim.monitor import in_progress_series
+from repro.workload import mixed_batch, optimal_makespan_seconds
+
+CLUSTER = ClusterSpec(physical_nodes=15, vms_per_node=4)  # 60 VMs
+SHORT, LONG = 720, 180  # 4:1 mix, 1,800 total minutes, 2-min average
+
+
+def run_condorj2() -> float:
+    system = CondorJ2System(CLUSTER, seed=11, execution=RELIABLE_EXECUTION)
+    system.submit_at(0.0, mixed_batch(SHORT, LONG))
+    system.run_until_complete(expected_jobs=SHORT + LONG, max_seconds=14400.0)
+    ends = system.completion_times()
+    series = in_progress_series(system.start_times(), ends)
+    print(ascii_chart([(float(m), float(n)) for m, n in series],
+                      title="CondorJ2: jobs in progress vs minute",
+                      width=60, height=10))
+    return max(ends) / 60.0
+
+
+def run_condor() -> float:
+    config = CondorConfig(job_throttle_per_second=1.0)
+    pool = CondorPool(CLUSTER, seed=11, schedd_count=3, config=config,
+                      execution=RELIABLE_EXECUTION)
+    pool.submit_round_robin(0.0, mixed_batch(SHORT, LONG))
+    pool.run_until_complete(expected_jobs=SHORT + LONG, max_seconds=14400.0)
+    ends = pool.completion_times()
+    series = in_progress_series(pool.start_times(), ends)
+    print(ascii_chart([(float(m), float(n)) for m, n in series],
+                      title="Condor (3 schedds, no limit): jobs in progress",
+                      width=60, height=10))
+    return max(ends) / 60.0
+
+
+def main() -> None:
+    optimal = optimal_makespan_seconds(mixed_batch(SHORT, LONG), 60) / 60.0
+    print(f"workload: {SHORT} x 1-min + {LONG} x 6-min jobs on 60 VMs; "
+          f"optimal makespan {optimal:.0f} minutes\n")
+    j2 = run_condorj2()
+    print()
+    condor = run_condor()
+    print()
+    print(f"CondorJ2 makespan: {j2:6.1f} minutes "
+          f"({j2 / optimal:.2f}x optimal)")
+    print(f"Condor makespan:   {condor:6.1f} minutes "
+          f"({condor / optimal:.2f}x optimal)")
+    print("\nThe data-centric system wins not with a cleverer scheduling "
+          "algorithm\nbut by having no per-schedd bottleneck to work around.")
+
+
+if __name__ == "__main__":
+    main()

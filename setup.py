@@ -1,0 +1,11 @@
+"""Legacy-build shim.
+
+The environment has no network access and no ``wheel`` package, so PEP
+517 editable installs (which build a wheel) fail.  This shim lets
+``pip install -e . --no-use-pep517`` fall back to ``setup.py develop``.
+All project metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

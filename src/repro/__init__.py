@@ -1,0 +1,21 @@
+"""repro — a reproduction of "Turning Cluster Management into Data Management".
+
+The package implements, from scratch and on a single machine:
+
+* ``repro.sim`` — a deterministic discrete-event simulation kernel;
+* ``repro.classads`` — the ClassAd matchmaking language used by Condor;
+* ``repro.cluster`` — the execute-node substrate shared by both systems;
+* ``repro.condor`` — the process-centric Condor baseline (schedd, shadow,
+  collector, negotiator, startd, starter, master);
+* ``repro.condorj2`` — the paper's contribution: a data-centric cluster
+  manager built on SQLite plus an application-server container;
+* ``repro.workload`` / ``repro.metrics`` — workload generators and series
+  analysis;
+* ``repro.experiments`` — one module per table/figure in the paper's
+  evaluation.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+__version__ = "1.0.0"

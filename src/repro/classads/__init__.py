@@ -1,0 +1,45 @@
+"""ClassAds: Condor's matchmaking language, implemented from scratch.
+
+The Condor baseline (:mod:`repro.condor`) advertises machines and jobs as
+ClassAds and matches them with symmetric ``Requirements`` evaluation and
+``Rank`` ordering, as described in [Raman, Livny, Solomon, HPDC 1998] and
+referenced by the paper's section 2.2.
+
+Public surface:
+
+* :class:`ClassAd` — attribute bag with lazy expression evaluation.
+* :func:`parse` — parse one expression into an AST.
+* :func:`symmetric_match` — two-way Requirements check.
+* ``UNDEFINED`` / ``ERROR`` — the abnormal values of the three-valued logic.
+"""
+
+from repro.classads.classad import ClassAd, symmetric_match
+from repro.classads.evaluate import Environment, evaluate
+from repro.classads.lexer import ClassAdSyntaxError, tokenize
+from repro.classads.parser import parse
+from repro.classads.values import (
+    ERROR,
+    UNDEFINED,
+    Value,
+    is_error,
+    is_true,
+    is_undefined,
+    value_repr,
+)
+
+__all__ = [
+    "ClassAd",
+    "ClassAdSyntaxError",
+    "ERROR",
+    "Environment",
+    "UNDEFINED",
+    "Value",
+    "evaluate",
+    "is_error",
+    "is_true",
+    "is_undefined",
+    "parse",
+    "symmetric_match",
+    "tokenize",
+    "value_repr",
+]

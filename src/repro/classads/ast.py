@@ -1,0 +1,103 @@
+"""Abstract syntax tree nodes for ClassAd expressions.
+
+Nodes are immutable dataclasses; evaluation lives in
+:mod:`repro.classads.evaluate` so the tree stays a pure data structure
+(useful for tests, pretty-printing and analysis passes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.classads.values import Value, value_repr
+
+
+class Expr:
+    """Base class for all expression nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A constant: number, string, boolean, UNDEFINED or ERROR."""
+
+    value: Value
+
+    def __str__(self) -> str:
+        return value_repr(self.value)
+
+
+@dataclass(frozen=True)
+class AttrRef(Expr):
+    """An attribute reference, optionally scoped: ``MY.x``, ``TARGET.x``.
+
+    ``scope`` is ``None`` (unscoped), ``"my"`` or ``"target"``; unscoped
+    references search MY first, then TARGET (old-ClassAd semantics).
+    """
+
+    name: str
+    scope: Optional[str] = None
+
+    def __str__(self) -> str:
+        if self.scope:
+            return f"{self.scope.upper()}.{self.name}"
+        return self.name
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    """Unary ``-``, ``+`` or ``!``."""
+
+    op: str
+    operand: Expr
+
+    def __str__(self) -> str:
+        return f"{self.op}({self.operand})"
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    """A binary operator application."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class Ternary(Expr):
+    """The conditional operator ``cond ? then : else``."""
+
+    condition: Expr
+    then: Expr
+    otherwise: Expr
+
+    def __str__(self) -> str:
+        return f"({self.condition} ? {self.then} : {self.otherwise})"
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    """A builtin function call; the name is case-insensitive."""
+
+    name: str
+    args: Tuple[Expr, ...]
+
+    def __str__(self) -> str:
+        rendered = ", ".join(str(arg) for arg in self.args)
+        return f"{self.name}({rendered})"
+
+
+@dataclass(frozen=True)
+class ListExpr(Expr):
+    """A list literal ``{e1, e2, ...}``."""
+
+    items: Tuple[Expr, ...]
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(str(item) for item in self.items) + "}"

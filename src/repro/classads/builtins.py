@@ -1,0 +1,294 @@
+"""Builtin function library for ClassAd expressions.
+
+The set covers the functions used by Condor configuration defaults and our
+matchmaking policies.  Every builtin takes the evaluated argument list and
+returns a value; abnormal inputs generally propagate per the strictness
+rules of the Condor implementation (``isUndefined``/``isError`` being the
+deliberate exceptions).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List
+
+from repro.classads.values import (
+    ERROR,
+    UNDEFINED,
+    Value,
+    as_number,
+    is_abnormal,
+    is_error,
+    is_true,
+    is_undefined,
+)
+
+
+def _strict(n_args: int = None):  # type: ignore[assignment]
+    """Decorator: propagate abnormal args and optionally check arity."""
+
+    def wrap(func: Callable[[List[Value]], Value]) -> Callable[[List[Value]], Value]:
+        def inner(args: List[Value]) -> Value:
+            if n_args is not None and len(args) != n_args:
+                return ERROR
+            for arg in args:
+                if is_error(arg):
+                    return ERROR
+            for arg in args:
+                if is_undefined(arg):
+                    return UNDEFINED
+            return func(args)
+
+        inner.__name__ = func.__name__
+        return inner
+
+    return wrap
+
+
+@_strict(1)
+def _floor(args: List[Value]) -> Value:
+    number = as_number(args[0])
+    if is_error(number):
+        return ERROR
+    return int(math.floor(number))
+
+
+@_strict(1)
+def _ceiling(args: List[Value]) -> Value:
+    number = as_number(args[0])
+    if is_error(number):
+        return ERROR
+    return int(math.ceil(number))
+
+
+@_strict(1)
+def _round(args: List[Value]) -> Value:
+    number = as_number(args[0])
+    if is_error(number):
+        return ERROR
+    return int(math.floor(number + 0.5))
+
+
+@_strict(1)
+def _int(args: List[Value]) -> Value:
+    value = args[0]
+    if isinstance(value, str):
+        try:
+            return int(float(value))
+        except ValueError:
+            return ERROR
+    number = as_number(value)
+    if is_error(number):
+        return ERROR
+    return int(number)
+
+
+@_strict(1)
+def _real(args: List[Value]) -> Value:
+    value = args[0]
+    if isinstance(value, str):
+        try:
+            return float(value)
+        except ValueError:
+            return ERROR
+    number = as_number(value)
+    if is_error(number):
+        return ERROR
+    return float(number)
+
+
+@_strict(1)
+def _string(args: List[Value]) -> Value:
+    value = args[0]
+    if isinstance(value, str):
+        return value
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, (int, float)):
+        return str(value)
+    return ERROR
+
+
+def _is_undefined(args: List[Value]) -> Value:
+    if len(args) != 1:
+        return ERROR
+    return is_undefined(args[0])
+
+
+def _is_error(args: List[Value]) -> Value:
+    if len(args) != 1:
+        return ERROR
+    return is_error(args[0])
+
+
+def _if_then_else(args: List[Value]) -> Value:
+    if len(args) != 3:
+        return ERROR
+    condition = args[0]
+    if is_abnormal(condition):
+        return condition
+    return args[1] if is_true(condition) else args[2]
+
+
+@_strict()
+def _min(args: List[Value]) -> Value:
+    numbers = [as_number(arg) for arg in args]
+    if not numbers or any(is_error(n) for n in numbers):
+        return ERROR
+    return min(numbers)
+
+
+@_strict()
+def _max(args: List[Value]) -> Value:
+    numbers = [as_number(arg) for arg in args]
+    if not numbers or any(is_error(n) for n in numbers):
+        return ERROR
+    return max(numbers)
+
+
+@_strict(2)
+def _pow(args: List[Value]) -> Value:
+    base, exponent = as_number(args[0]), as_number(args[1])
+    if is_error(base) or is_error(exponent):
+        return ERROR
+    return base ** exponent
+
+
+@_strict(2)
+def _strcmp(args: List[Value]) -> Value:
+    left, right = args
+    if not isinstance(left, str) or not isinstance(right, str):
+        return ERROR
+    return (left > right) - (left < right)
+
+
+@_strict(2)
+def _stricmp(args: List[Value]) -> Value:
+    left, right = args
+    if not isinstance(left, str) or not isinstance(right, str):
+        return ERROR
+    lhs, rhs = left.lower(), right.lower()
+    return (lhs > rhs) - (lhs < rhs)
+
+
+@_strict(1)
+def _to_upper(args: List[Value]) -> Value:
+    if not isinstance(args[0], str):
+        return ERROR
+    return args[0].upper()
+
+
+@_strict(1)
+def _to_lower(args: List[Value]) -> Value:
+    if not isinstance(args[0], str):
+        return ERROR
+    return args[0].lower()
+
+
+@_strict(1)
+def _size(args: List[Value]) -> Value:
+    value = args[0]
+    if isinstance(value, (str, list)):
+        return len(value)
+    return ERROR
+
+
+def _substr(args: List[Value]) -> Value:
+    if len(args) not in (2, 3):
+        return ERROR
+    for arg in args:
+        if is_abnormal(arg):
+            return ERROR if is_error(arg) else UNDEFINED
+    text = args[0]
+    if not isinstance(text, str) or not isinstance(args[1], int):
+        return ERROR
+    start = args[1]
+    if start < 0:
+        start = max(0, len(text) + start)
+    if len(args) == 2:
+        return text[start:]
+    length = args[2]
+    if not isinstance(length, int):
+        return ERROR
+    if length < 0:
+        return text[start:len(text) + length]
+    return text[start:start + length]
+
+
+@_strict(2)
+def _string_list_member(args: List[Value]) -> Value:
+    item, list_text = args
+    if not isinstance(item, str) or not isinstance(list_text, str):
+        return ERROR
+    members = [member.strip() for member in list_text.split(",")]
+    return item in members
+
+
+@_strict(2)
+def _string_list_i_member(args: List[Value]) -> Value:
+    item, list_text = args
+    if not isinstance(item, str) or not isinstance(list_text, str):
+        return ERROR
+    members = [member.strip().lower() for member in list_text.split(",")]
+    return item.lower() in members
+
+
+@_strict(1)
+def _string_list_size(args: List[Value]) -> Value:
+    if not isinstance(args[0], str):
+        return ERROR
+    text = args[0].strip()
+    if not text:
+        return 0
+    return len(text.split(","))
+
+
+@_strict(2)
+def _regexp(args: List[Value]) -> Value:
+    import re
+
+    pattern, text = args
+    if not isinstance(pattern, str) or not isinstance(text, str):
+        return ERROR
+    try:
+        return re.search(pattern, text) is not None
+    except re.error:
+        return ERROR
+
+
+@_strict(2)
+def _member(args: List[Value]) -> Value:
+    item, collection = args
+    if not isinstance(collection, list):
+        return ERROR
+    from repro.classads.values import values_identical
+
+    return any(values_identical(item, element) for element in collection)
+
+
+#: Name -> implementation. Names are lower-case; lookup is case-insensitive.
+BUILTINS: Dict[str, Callable[[List[Value]], Value]] = {
+    "floor": _floor,
+    "ceiling": _ceiling,
+    "round": _round,
+    "int": _int,
+    "real": _real,
+    "string": _string,
+    "isundefined": _is_undefined,
+    "iserror": _is_error,
+    "ifthenelse": _if_then_else,
+    "min": _min,
+    "max": _max,
+    "pow": _pow,
+    "strcmp": _strcmp,
+    "stricmp": _stricmp,
+    "toupper": _to_upper,
+    "tolower": _to_lower,
+    "size": _size,
+    "substr": _substr,
+    "stringlistmember": _string_list_member,
+    "stringlistimember": _string_list_i_member,
+    "stringlistsize": _string_list_size,
+    "regexp": _regexp,
+    "member": _member,
+}

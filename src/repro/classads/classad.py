@@ -1,0 +1,171 @@
+"""ClassAds and the symmetric matchmaking operation.
+
+A :class:`ClassAd` is a set of named attributes whose values are
+*expressions* (stored unevaluated, as in old ClassAds).  Matchmaking —
+the negotiator's core operation in Condor — succeeds when each ad's
+``Requirements`` expression evaluates to TRUE with the other ad as TARGET;
+``Rank`` then orders acceptable matches.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Optional, Tuple, Union
+
+from repro.classads.ast import Expr, Literal
+from repro.classads.evaluate import Environment, evaluate
+from repro.classads.lexer import iter_statements
+from repro.classads.parser import parse
+from repro.classads.values import (
+    UNDEFINED,
+    Value,
+    as_number,
+    coerce_python,
+    is_abnormal,
+    is_error,
+    is_true,
+    value_repr,
+)
+
+
+class ClassAd:
+    """A mutable bag of attribute -> expression, case-insensitive names."""
+
+    def __init__(self, attrs: Optional[Dict[str, Any]] = None):
+        # Maps lower-cased name -> (original name, expression).
+        self._attrs: Dict[str, Tuple[str, Expr]] = {}
+        if attrs:
+            for name, value in attrs.items():
+                self[name] = value
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, source: str) -> "ClassAd":
+        """Parse a multi-line ``name = expression`` description."""
+        ad = cls()
+        for statement in iter_statements(source):
+            name, _, rhs = statement.partition("=")
+            if not _ or not name.strip():
+                raise ValueError(f"malformed classad statement {statement!r}")
+            ad.set_expr(name.strip(), parse(rhs.strip()))
+        return ad
+
+    # ------------------------------------------------------------------
+    # attribute access
+    # ------------------------------------------------------------------
+    def __setitem__(self, name: str, value: Any) -> None:
+        """Assign an attribute from a Python value or source string.
+
+        Strings are stored as string literals; use :meth:`set_expr` (or a
+        parsed expression) to store computed attributes.
+        """
+        if isinstance(value, Expr):
+            self.set_expr(name, value)
+        else:
+            self.set_expr(name, Literal(coerce_python(value)))
+
+    def set_expr(self, name: str, expr: Union[Expr, str]) -> None:
+        """Assign an attribute to an expression (parsed when a string)."""
+        if isinstance(expr, str):
+            expr = parse(expr)
+        self._attrs[name.lower()] = (name, expr)
+
+    def get_expr(self, name: str) -> Optional[Expr]:
+        """The stored (unevaluated) expression, or None when absent."""
+        entry = self._attrs.get(name.lower())
+        return entry[1] if entry else None
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._attrs
+
+    def __delitem__(self, name: str) -> None:
+        del self._attrs[name.lower()]
+
+    def __len__(self) -> int:
+        return len(self._attrs)
+
+    def __iter__(self) -> Iterator[str]:
+        for original, _expr in self._attrs.values():
+            yield original
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, name: str, target: Optional["ClassAd"] = None) -> Value:
+        """Evaluate attribute ``name`` (UNDEFINED when absent)."""
+        expr = self.get_expr(name)
+        if expr is None:
+            return UNDEFINED
+        return evaluate(expr, Environment(self, target))
+
+    def evaluate_expr(self, source: Union[str, Expr], target: Optional["ClassAd"] = None) -> Value:
+        """Evaluate an arbitrary expression with this ad as MY."""
+        expr = parse(source) if isinstance(source, str) else source
+        return evaluate(expr, Environment(self, target))
+
+    def get(self, name: str, default: Any = None) -> Any:
+        """Evaluate ``name`` and return a plain Python value.
+
+        UNDEFINED/ERROR map to ``default`` so callers can treat ads like
+        dictionaries for simple plumbing.
+        """
+        value = self.evaluate(name)
+        if is_abnormal(value):
+            return default
+        return value
+
+    # ------------------------------------------------------------------
+    # matchmaking
+    # ------------------------------------------------------------------
+    def requirements_satisfied_by(self, other: "ClassAd") -> bool:
+        """Whether MY.Requirements is TRUE with ``other`` as TARGET.
+
+        An absent Requirements attribute counts as satisfied (a machine or
+        job without constraints accepts anything).
+        """
+        expr = self.get_expr("requirements")
+        if expr is None:
+            return True
+        return is_true(evaluate(expr, Environment(self, other)))
+
+    def rank_of(self, other: "ClassAd") -> float:
+        """Numeric MY.Rank with ``other`` as TARGET (0.0 when absent/bad)."""
+        expr = self.get_expr("rank")
+        if expr is None:
+            return 0.0
+        value = evaluate(expr, Environment(self, other))
+        if is_abnormal(value):
+            return 0.0
+        number = as_number(value)
+        if is_error(number):
+            return 0.0
+        return float(number)
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        body = "; ".join(f"{orig} = {expr}" for orig, expr in self._attrs.values())
+        return f"[{body}]"
+
+    def unparse(self) -> str:
+        """Render as newline-separated ``name = expression`` statements."""
+        lines = []
+        for original, expr in self._attrs.values():
+            if isinstance(expr, Literal):
+                lines.append(f"{original} = {value_repr(expr.value)}")
+            else:
+                lines.append(f"{original} = {expr}")
+        return "\n".join(lines)
+
+    def copy(self) -> "ClassAd":
+        """A shallow copy (expressions are immutable, so this is safe)."""
+        duplicate = ClassAd()
+        duplicate._attrs = dict(self._attrs)
+        return duplicate
+
+
+def symmetric_match(left: ClassAd, right: ClassAd) -> bool:
+    """Two-way match: each ad's Requirements accepts the other."""
+    return left.requirements_satisfied_by(right) and right.requirements_satisfied_by(left)

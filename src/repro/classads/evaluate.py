@@ -1,0 +1,221 @@
+"""Evaluation semantics for ClassAd expressions.
+
+Evaluation happens against an :class:`Environment` holding the MY ad and an
+optional TARGET ad.  The rules implemented here are the ones matchmaking
+depends on (see module docstring of :mod:`repro.classads.values` for the
+three-valued logic):
+
+* Unscoped attribute lookups search MY first, then TARGET, else UNDEFINED.
+* Attribute values may themselves be expressions (old ClassAds store
+  unevaluated right-hand sides); they are evaluated lazily in the scope of
+  the ad that defines them, with cycle detection yielding ERROR.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Set
+
+from repro.classads.ast import (
+    AttrRef,
+    BinaryOp,
+    Expr,
+    FuncCall,
+    ListExpr,
+    Literal,
+    Ternary,
+    UnaryOp,
+)
+from repro.classads.builtins import BUILTINS
+from repro.classads.values import (
+    ERROR,
+    UNDEFINED,
+    Value,
+    as_number,
+    is_abnormal,
+    is_error,
+    is_true,
+    is_undefined,
+    values_identical,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.classads.classad import ClassAd
+
+
+class Environment:
+    """Evaluation context: the MY ad, the TARGET ad, and a cycle guard."""
+
+    __slots__ = ("my", "target", "_in_flight")
+
+    def __init__(self, my: "ClassAd", target: Optional["ClassAd"] = None):
+        self.my = my
+        self.target = target
+        self._in_flight: Set[tuple[int, str]] = set()
+
+    def lookup(self, name: str, scope: Optional[str]) -> Value:
+        """Resolve an attribute reference to a value."""
+        lowered = name.lower()
+        if scope == "my":
+            return self._from_ad(self.my, lowered)
+        if scope == "target":
+            if self.target is None:
+                return UNDEFINED
+            return self._from_ad(self.target, lowered, flip=True)
+        value = self._from_ad(self.my, lowered)
+        if not is_undefined(value):
+            return value
+        if self.target is not None:
+            return self._from_ad(self.target, lowered, flip=True)
+        return UNDEFINED
+
+    def _from_ad(self, ad: "ClassAd", lowered: str, flip: bool = False) -> Value:
+        expr = ad.get_expr(lowered)
+        if expr is None:
+            return UNDEFINED
+        key = (id(ad), lowered)
+        if key in self._in_flight:
+            return ERROR  # circular attribute definition
+        self._in_flight.add(key)
+        try:
+            if flip:
+                # Evaluate in the defining ad's own scope: its MY is the
+                # target ad, and its TARGET is our MY ad.
+                sub_env = Environment(ad, self.my)
+                sub_env._in_flight = self._in_flight
+                return evaluate(expr, sub_env)
+            return evaluate(expr, self)
+        finally:
+            self._in_flight.discard(key)
+
+
+def evaluate(expr: Expr, env: Environment) -> Value:
+    """Evaluate ``expr`` in ``env``, returning a ClassAd value."""
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, AttrRef):
+        return env.lookup(expr.name, expr.scope)
+    if isinstance(expr, UnaryOp):
+        return _unary(expr, env)
+    if isinstance(expr, BinaryOp):
+        return _binary(expr, env)
+    if isinstance(expr, Ternary):
+        condition = evaluate(expr.condition, env)
+        if is_abnormal(condition):
+            return condition
+        return evaluate(expr.then if is_true(condition) else expr.otherwise, env)
+    if isinstance(expr, FuncCall):
+        return _call(expr, env)
+    if isinstance(expr, ListExpr):
+        return [evaluate(item, env) for item in expr.items]
+    return ERROR
+
+
+def _unary(expr: UnaryOp, env: Environment) -> Value:
+    value = evaluate(expr.operand, env)
+    if is_abnormal(value):
+        return value
+    if expr.op == "!":
+        return not is_true(value)
+    number = as_number(value)
+    if is_error(number):
+        return ERROR
+    return -number if expr.op == "-" else number
+
+
+def _binary(expr: BinaryOp, env: Environment) -> Value:
+    op = expr.op
+    if op == "&&":
+        left = evaluate(expr.left, env)
+        if not is_abnormal(left) and not is_true(left):
+            return False
+        right = evaluate(expr.right, env)
+        if not is_abnormal(right) and not is_true(right):
+            return False
+        if is_error(left) or is_error(right):
+            return ERROR
+        if is_undefined(left) or is_undefined(right):
+            return UNDEFINED
+        return True
+    if op == "||":
+        left = evaluate(expr.left, env)
+        if not is_abnormal(left) and is_true(left):
+            return True
+        right = evaluate(expr.right, env)
+        if not is_abnormal(right) and is_true(right):
+            return True
+        if is_error(left) or is_error(right):
+            return ERROR
+        if is_undefined(left) or is_undefined(right):
+            return UNDEFINED
+        return False
+    left = evaluate(expr.left, env)
+    right = evaluate(expr.right, env)
+    if op == "=?=":
+        return values_identical(left, right)
+    if op == "=!=":
+        return not values_identical(left, right)
+    if is_undefined(left) or is_undefined(right):
+        return UNDEFINED
+    if is_error(left) or is_error(right):
+        return ERROR
+    if op in ("==", "!=", "<", "<=", ">", ">="):
+        return _compare(op, left, right)
+    return _arithmetic(op, left, right)
+
+
+def _compare(op: str, left: Value, right: Value) -> Value:
+    if isinstance(left, str) and isinstance(right, str):
+        lhs, rhs = left.lower(), right.lower()
+    else:
+        lhs, rhs = as_number(left), as_number(right)
+        if is_error(lhs) or is_error(rhs):
+            return ERROR
+    if op == "==":
+        return lhs == rhs
+    if op == "!=":
+        return lhs != rhs
+    if op == "<":
+        return lhs < rhs
+    if op == "<=":
+        return lhs <= rhs
+    if op == ">":
+        return lhs > rhs
+    return lhs >= rhs
+
+
+def _arithmetic(op: str, left: Value, right: Value) -> Value:
+    if op == "+" and isinstance(left, str) and isinstance(right, str):
+        return left + right
+    lhs, rhs = as_number(left), as_number(right)
+    if is_error(lhs) or is_error(rhs):
+        return ERROR
+    if op == "+":
+        return lhs + rhs
+    if op == "-":
+        return lhs - rhs
+    if op == "*":
+        return lhs * rhs
+    if op == "/":
+        if rhs == 0:
+            return ERROR
+        if isinstance(lhs, int) and isinstance(rhs, int):
+            return int(lhs / rhs)  # C-style truncating division
+        return lhs / rhs
+    if op == "%":
+        if rhs == 0:
+            return ERROR
+        if isinstance(lhs, int) and isinstance(rhs, int):
+            return int(lhs - int(lhs / rhs) * rhs)
+        return ERROR
+    return ERROR
+
+
+def _call(expr: FuncCall, env: Environment) -> Value:
+    function = BUILTINS.get(expr.name)
+    if function is None:
+        return ERROR
+    args = [evaluate(arg, env) for arg in expr.args]
+    try:
+        return function(args)
+    except Exception:  # noqa: BLE001 - builtin misuse yields ERROR, not a crash
+        return ERROR

@@ -1,0 +1,144 @@
+"""Tokenizer for the ClassAd expression language.
+
+The surface syntax follows the "old ClassAds" used throughout the Condor
+manuals of the paper's era::
+
+    Requirements = (Arch == "INTEL") && (OpSys == "LINUX") && Memory >= 64
+    Rank = KFlops + 1000 * Memory
+
+Tokens carry their source position so parse errors point at the offending
+character.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+
+class ClassAdSyntaxError(ValueError):
+    """Raised on malformed ClassAd source text."""
+
+    def __init__(self, message: str, position: int, text: str):
+        self.position = position
+        self.text = text
+        super().__init__(f"{message} at position {position}: {text[max(0, position - 10):position + 10]!r}")
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token with its source position."""
+
+    kind: str
+    value: str
+    position: int
+
+
+#: Multi-character operators, longest first so the scanner is greedy.
+_OPERATORS = [
+    "=?=", "=!=", "==", "!=", "<=", ">=", "&&", "||",
+    "<", ">", "+", "-", "*", "/", "%", "!", "?", ":", "(", ")", "{", "}", ",", "[", "]", "=",
+]
+
+_NUMBER_RE = re.compile(r"\d+\.\d*(?:[eE][-+]?\d+)?|\.\d+(?:[eE][-+]?\d+)?|\d+(?:[eE][-+]?\d+)?")
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_WS_RE = re.compile(r"[ \t\r\n]+")
+
+#: Keyword literals, case-insensitive.
+KEYWORDS = {"true", "false", "undefined", "error", "my", "target", "is", "isnt"}
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split ClassAd source into tokens, raising on unknown characters."""
+    tokens: List[Token] = []
+    pos = 0
+    length = len(text)
+    while pos < length:
+        ws = _WS_RE.match(text, pos)
+        if ws:
+            pos = ws.end()
+            continue
+        char = text[pos]
+        if char == '"':
+            token, pos = _scan_string(text, pos)
+            tokens.append(token)
+            continue
+        if char.isdigit() or (char == "." and pos + 1 < length and text[pos + 1].isdigit()):
+            match = _NUMBER_RE.match(text, pos)
+            if not match:  # pragma: no cover - regex always matches here
+                raise ClassAdSyntaxError("malformed number", pos, text)
+            tokens.append(Token("number", match.group(), pos))
+            pos = match.end()
+            continue
+        ident = _IDENT_RE.match(text, pos)
+        if ident:
+            word = ident.group()
+            kind = "keyword" if word.lower() in KEYWORDS else "ident"
+            tokens.append(Token(kind, word, pos))
+            pos = ident.end()
+            continue
+        for op in _OPERATORS:
+            if text.startswith(op, pos):
+                tokens.append(Token("op", op, pos))
+                pos += len(op)
+                break
+        else:
+            raise ClassAdSyntaxError(f"unexpected character {char!r}", pos, text)
+    tokens.append(Token("eof", "", length))
+    return tokens
+
+
+def _scan_string(text: str, start: int) -> tuple[Token, int]:
+    """Scan a double-quoted string literal with backslash escapes."""
+    pos = start + 1
+    chars: List[str] = []
+    while pos < len(text):
+        char = text[pos]
+        if char == "\\":
+            if pos + 1 >= len(text):
+                raise ClassAdSyntaxError("dangling escape", pos, text)
+            escape = text[pos + 1]
+            chars.append({"n": "\n", "t": "\t", '"': '"', "\\": "\\"}.get(escape, escape))
+            pos += 2
+            continue
+        if char == '"':
+            return Token("string", "".join(chars), start), pos + 1
+        chars.append(char)
+        pos += 1
+    raise ClassAdSyntaxError("unterminated string", start, text)
+
+
+def iter_statements(source: str) -> Iterator[str]:
+    """Split a classad description into ``name = expr`` statements.
+
+    Statements are separated by newlines or semicolons; blank lines and
+    ``#`` comments are skipped.  Quoted strings may contain separators.
+    """
+    buffer: List[str] = []
+    in_string = False
+    escaped = False
+    for char in source:
+        if in_string:
+            buffer.append(char)
+            if escaped:
+                escaped = False
+            elif char == "\\":
+                escaped = True
+            elif char == '"':
+                in_string = False
+            continue
+        if char == '"':
+            in_string = True
+            buffer.append(char)
+            continue
+        if char in "\n;":
+            statement = "".join(buffer).strip()
+            if statement and not statement.startswith("#"):
+                yield statement
+            buffer = []
+            continue
+        buffer.append(char)
+    statement = "".join(buffer).strip()
+    if statement and not statement.startswith("#"):
+        yield statement

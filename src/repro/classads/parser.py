@@ -1,0 +1,297 @@
+"""Recursive-descent parser for ClassAd expressions.
+
+Precedence (loosest to tightest), matching the Condor implementation:
+
+1. ``?:``            conditional
+2. ``||``            logical or
+3. ``&&``            logical and
+4. ``==  !=  =?=  =!=  is  isnt``   (in)equality
+5. ``<  <=  >  >=``  relational
+6. ``+  -``          additive
+7. ``*  /  %``       multiplicative
+8. unary ``- + !``
+9. atoms: literals, attribute references, function calls, parens, lists
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.classads.ast import (
+    AttrRef,
+    BinaryOp,
+    Expr,
+    FuncCall,
+    ListExpr,
+    Literal,
+    Ternary,
+    UnaryOp,
+)
+from repro.classads.lexer import ClassAdSyntaxError, Token, tokenize
+from repro.classads.values import ERROR, UNDEFINED
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token], text: str):
+        self.tokens = tokens
+        self.text = text
+        self.index = 0
+
+    # ------------------------------------------------------------------
+    # token helpers
+    # ------------------------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def accept(self, kind: str, value: str = "") -> bool:
+        token = self.peek()
+        if token.kind != kind:
+            return False
+        if value and token.value.lower() != value.lower():
+            return False
+        self.advance()
+        return True
+
+    def expect(self, kind: str, value: str = "") -> Token:
+        token = self.peek()
+        if token.kind != kind or (value and token.value.lower() != value.lower()):
+            expected = value or kind
+            raise ClassAdSyntaxError(
+                f"expected {expected!r}, found {token.value or token.kind!r}",
+                token.position,
+                self.text,
+            )
+        return self.advance()
+
+    # ------------------------------------------------------------------
+    # grammar
+    # ------------------------------------------------------------------
+    def parse_expression(self) -> Expr:
+        return self._ternary()
+
+    def _ternary(self) -> Expr:
+        condition = self._or()
+        if self.accept("op", "?"):
+            then = self._ternary()
+            self.expect("op", ":")
+            otherwise = self._ternary()
+            return Ternary(condition, then, otherwise)
+        return condition
+
+    def _or(self) -> Expr:
+        left = self._and()
+        while self.accept("op", "||"):
+            left = BinaryOp("||", left, self._and())
+        return left
+
+    def _and(self) -> Expr:
+        left = self._equality()
+        while self.accept("op", "&&"):
+            left = BinaryOp("&&", left, self._equality())
+        return left
+
+    def _equality(self) -> Expr:
+        left = self._relational()
+        while True:
+            token = self.peek()
+            if token.kind == "op" and token.value in ("==", "!=", "=?=", "=!="):
+                self.advance()
+                left = BinaryOp(token.value, left, self._relational())
+            elif token.kind == "keyword" and token.value.lower() in ("is", "isnt"):
+                self.advance()
+                op = "=?=" if token.value.lower() == "is" else "=!="
+                left = BinaryOp(op, left, self._relational())
+            else:
+                return left
+
+    def _relational(self) -> Expr:
+        left = self._additive()
+        while True:
+            token = self.peek()
+            if token.kind == "op" and token.value in ("<", "<=", ">", ">="):
+                self.advance()
+                left = BinaryOp(token.value, left, self._additive())
+            else:
+                return left
+
+    def _additive(self) -> Expr:
+        left = self._multiplicative()
+        while True:
+            token = self.peek()
+            if token.kind == "op" and token.value in ("+", "-"):
+                self.advance()
+                left = BinaryOp(token.value, left, self._multiplicative())
+            else:
+                return left
+
+    def _multiplicative(self) -> Expr:
+        left = self._unary()
+        while True:
+            token = self.peek()
+            if token.kind == "op" and token.value in ("*", "/", "%"):
+                self.advance()
+                left = BinaryOp(token.value, left, self._unary())
+            else:
+                return left
+
+    def _unary(self) -> Expr:
+        token = self.peek()
+        if token.kind == "op" and token.value in ("-", "+", "!"):
+            self.advance()
+            return UnaryOp(token.value, self._unary())
+        return self._atom()
+
+    def _atom(self) -> Expr:
+        token = self.peek()
+        if token.kind == "number":
+            self.advance()
+            text = token.value
+            if any(ch in text for ch in ".eE"):
+                return Literal(float(text))
+            return Literal(int(text))
+        if token.kind == "string":
+            self.advance()
+            return Literal(token.value)
+        if token.kind == "keyword":
+            return self._keyword_atom()
+        if token.kind == "ident":
+            return self._ident_atom()
+        if self.accept("op", "("):
+            inner = self.parse_expression()
+            self.expect("op", ")")
+            return inner
+        if self.accept("op", "{"):
+            return self._list_tail()
+        raise ClassAdSyntaxError(
+            f"unexpected token {token.value or token.kind!r}", token.position, self.text
+        )
+
+    def _keyword_atom(self) -> Expr:
+        token = self.advance()
+        word = token.value.lower()
+        if word == "true":
+            return Literal(True)
+        if word == "false":
+            return Literal(False)
+        if word == "undefined":
+            return Literal(UNDEFINED)
+        if word == "error":
+            return Literal(ERROR)
+        # Bare MY/TARGET (scoped refs are folded before lexing) and the
+        # infix-only IS/ISNT keywords are invalid as atoms.
+        raise ClassAdSyntaxError(
+            f"keyword {token.value!r} not valid here", token.position, self.text
+        )
+
+    def _ident_atom(self) -> Expr:
+        token = self.advance()
+        name = token.value
+        if self.accept("op", "("):
+            return self._call_tail(name)
+        return AttrRef(name)
+
+    def _call_tail(self, name: str) -> Expr:
+        args: List[Expr] = []
+        if not self.accept("op", ")"):
+            args.append(self.parse_expression())
+            while self.accept("op", ","):
+                args.append(self.parse_expression())
+            self.expect("op", ")")
+        return FuncCall(name.lower(), tuple(args))
+
+    def _list_tail(self) -> Expr:
+        items: List[Expr] = []
+        if not self.accept("op", "}"):
+            items.append(self.parse_expression())
+            while self.accept("op", ","):
+                items.append(self.parse_expression())
+            self.expect("op", "}")
+        return ListExpr(tuple(items))
+
+
+def _fold_scopes(text: str) -> str:
+    """Rewrite ``MY.attr``/``TARGET.attr`` into single tokens.
+
+    The lexer has no ``.`` operator; we canonicalise scoped references to
+    ``__my__attr`` / ``__target__attr`` identifiers before tokenizing, then
+    unfold them in :func:`parse`.  The rewrite is careful not to touch text
+    inside string literals.
+    """
+    import re
+
+    out: List[str] = []
+    in_string = False
+    escaped = False
+    index = 0
+    pattern = re.compile(r"\b(my|target)\s*\.\s*([A-Za-z_][A-Za-z0-9_]*)", re.IGNORECASE)
+    while index < len(text):
+        char = text[index]
+        if in_string:
+            out.append(char)
+            if escaped:
+                escaped = False
+            elif char == "\\":
+                escaped = True
+            elif char == '"':
+                in_string = False
+            index += 1
+            continue
+        if char == '"':
+            in_string = True
+            out.append(char)
+            index += 1
+            continue
+        match = pattern.match(text, index)
+        if match:
+            scope, attr = match.group(1).lower(), match.group(2)
+            out.append(f"__{scope}__{attr}")
+            index = match.end()
+            continue
+        out.append(char)
+        index += 1
+    return "".join(out)
+
+
+def _unfold_scope(node: Expr) -> Expr:
+    """Convert ``__my__attr`` identifiers back into scoped AttrRefs."""
+    if isinstance(node, AttrRef) and node.scope is None:
+        lowered = node.name.lower()
+        for scope in ("my", "target"):
+            prefix = f"__{scope}__"
+            if lowered.startswith(prefix):
+                return AttrRef(node.name[len(prefix):], scope=scope)
+        return node
+    if isinstance(node, UnaryOp):
+        return UnaryOp(node.op, _unfold_scope(node.operand))
+    if isinstance(node, BinaryOp):
+        return BinaryOp(node.op, _unfold_scope(node.left), _unfold_scope(node.right))
+    if isinstance(node, Ternary):
+        return Ternary(
+            _unfold_scope(node.condition),
+            _unfold_scope(node.then),
+            _unfold_scope(node.otherwise),
+        )
+    if isinstance(node, FuncCall):
+        return FuncCall(node.name, tuple(_unfold_scope(arg) for arg in node.args))
+    if isinstance(node, ListExpr):
+        return ListExpr(tuple(_unfold_scope(item) for item in node.items))
+    return node
+
+
+def parse(text: str) -> Expr:
+    """Parse one ClassAd expression from source text."""
+    folded = _fold_scopes(text)
+    tokens = tokenize(folded)
+    parser = _Parser(tokens, folded)
+    expr = parser.parse_expression()
+    trailing = parser.peek()
+    if trailing.kind != "eof":
+        raise ClassAdSyntaxError(
+            f"trailing input {trailing.value!r}", trailing.position, folded
+        )
+    return _unfold_scope(expr)

@@ -1,0 +1,54 @@
+"""Execute-node substrate shared by the Condor and CondorJ2 models.
+
+Public surface:
+
+* :class:`JobSpec` / :class:`JobRecord` / :class:`JobState` — jobs.
+* :class:`PhysicalNode` / :class:`VirtualMachine` / :class:`VmState` —
+  the machine model (scheduling happens at VM granularity).
+* :class:`ExecutionModel` — setup/teardown cost model producing the
+  drop behaviour of Figure 8 (:data:`RELIABLE_EXECUTION` disables it).
+* :class:`ClusterSpec` / :func:`build_cluster` and the
+  ``*_testbed`` helpers — the paper's test-bed configurations.
+"""
+
+from repro.cluster.execution import (
+    ExecutionModel,
+    ExecutionOutcome,
+    RELIABLE_EXECUTION,
+)
+from repro.cluster.job import (
+    ACTIVE_STATES,
+    JobRecord,
+    JobSpec,
+    JobState,
+    next_job_id,
+)
+from repro.cluster.machine import PhysicalNode, VirtualMachine, VmState
+from repro.cluster.topology import (
+    ClusterSpec,
+    all_vms,
+    build_cluster,
+    large_cluster_testbed,
+    mixed_workload_testbed,
+    throughput_testbed,
+)
+
+__all__ = [
+    "ACTIVE_STATES",
+    "ClusterSpec",
+    "ExecutionModel",
+    "ExecutionOutcome",
+    "JobRecord",
+    "JobSpec",
+    "JobState",
+    "PhysicalNode",
+    "RELIABLE_EXECUTION",
+    "VirtualMachine",
+    "VmState",
+    "all_vms",
+    "build_cluster",
+    "large_cluster_testbed",
+    "mixed_workload_testbed",
+    "next_job_id",
+    "throughput_testbed",
+]

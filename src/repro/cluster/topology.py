@@ -1,0 +1,83 @@
+"""Cluster construction helpers matching the paper's test beds.
+
+The authors had 50 physical machines (a mix of single- and dual-processor
+1 GHz Pentium IIIs) and varied the VM-to-physical ratio to emulate clusters
+of different sizes:
+
+* 45 nodes x 4 VMs  = 180-VM cluster  (throughput sweep, section 5.2.1)
+* 50 nodes x 200 VMs = 10,000-VM cluster (large-cluster test, section 5.2.2)
+* 45 nodes x 12 VMs = 540-VM cluster  (mixed workload, section 5.2.3)
+* 45 nodes x 4 VMs  = 180-VM cluster  (Condor mixed workload, section 5.3.3)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.cluster.machine import PhysicalNode
+from repro.sim.kernel import Simulator
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Parameters describing a homogeneous-ish test-bed cluster."""
+
+    physical_nodes: int = 45
+    vms_per_node: int = 4
+    dual_core_fraction: float = 0.4
+    base_speed: float = 1.0
+    speed_jitter: float = 0.15
+    memory_mb: float = 512.0
+
+    def total_vms(self) -> int:
+        """Cluster size as the paper counts it (virtual machines)."""
+        return self.physical_nodes * self.vms_per_node
+
+
+def build_cluster(sim: Simulator, spec: ClusterSpec) -> List[PhysicalNode]:
+    """Instantiate the physical nodes for ``spec``.
+
+    Core counts and speed jitter are drawn from seeded RNG streams so a
+    given simulator seed always produces the same test bed.
+    """
+    cores_rng = sim.rng.stream("topology.cores")
+    speed_rng = sim.rng.stream("topology.speed")
+    nodes: List[PhysicalNode] = []
+    for index in range(spec.physical_nodes):
+        cores = 2 if cores_rng.random() < spec.dual_core_fraction else 1
+        speed = spec.base_speed
+        if spec.speed_jitter > 0:
+            speed *= 1.0 + speed_rng.uniform(-spec.speed_jitter, spec.speed_jitter)
+        nodes.append(
+            PhysicalNode(
+                sim,
+                name=f"node{index:03d}",
+                cores=cores,
+                speed=speed,
+                memory_mb=spec.memory_mb,
+                vm_count=spec.vms_per_node,
+            )
+        )
+    return nodes
+
+
+def throughput_testbed() -> ClusterSpec:
+    """45 physical x 4 VMs = 180 VMs (sections 5.2.1 and 5.3.3)."""
+    return ClusterSpec(physical_nodes=45, vms_per_node=4)
+
+
+def large_cluster_testbed() -> ClusterSpec:
+    """50 physical x 200 VMs = 10,000 VMs (section 5.2.2)."""
+    return ClusterSpec(physical_nodes=50, vms_per_node=200)
+
+
+def mixed_workload_testbed() -> ClusterSpec:
+    """45 physical x 12 VMs = 540 VMs (section 5.2.3)."""
+    return ClusterSpec(physical_nodes=45, vms_per_node=12)
+
+
+def all_vms(nodes: List[PhysicalNode]):
+    """Flatten a node list into its VMs, in stable order."""
+    for node in nodes:
+        yield from node.vms

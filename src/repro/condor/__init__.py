@@ -1,0 +1,31 @@
+"""The Condor baseline: a process-centric cluster manager, from scratch.
+
+Seven daemons per the paper's section 2: master, schedd (+ shadow) on
+submit machines; collector + negotiator for centralized matchmaking;
+startd (+ starter) on execute machines.  :class:`CondorPool` wires a whole
+pool for the section 5.3 experiments.
+"""
+
+from repro.condor.collector import Collector
+from repro.condor.config import CondorConfig
+from repro.condor.joblog import JobLog, LogRecord
+from repro.condor.master import Master
+from repro.condor.negotiator import Negotiator
+from repro.condor.pool import CondorPool, CondorUser
+from repro.condor.schedd import Schedd
+from repro.condor.shadow import Shadow
+from repro.condor.startd import CondorStartd
+
+__all__ = [
+    "Collector",
+    "CondorConfig",
+    "CondorPool",
+    "CondorStartd",
+    "CondorUser",
+    "JobLog",
+    "LogRecord",
+    "Master",
+    "Negotiator",
+    "Schedd",
+    "Shadow",
+]

@@ -1,0 +1,97 @@
+"""The collector: Condor's in-memory ad repository.
+
+"The collector daemon serves as a central repository for machine and job
+information ... maintains all of this information in memory ... needs no
+transaction or recovery logic.  Upon restart after a failure the collector
+rebuilds its in-memory data structure as updates arrive" (section 2.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+from repro.classads import ClassAd
+from repro.sim.cpu import Host, TAG_USER
+from repro.sim.kernel import Simulator
+from repro.sim.network import Message, Network
+
+
+class Collector:
+    """In-memory repository of startd and schedd ads."""
+
+    entity_kind = "collector"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        network: Network,
+        address: str = "collector",
+        update_cost_seconds: float = 0.0002,
+    ):
+        self.sim = sim
+        self.host = host
+        self.network = network
+        self.address = address
+        self.update_cost_seconds = update_cost_seconds
+        self.startd_ads: Dict[str, ClassAd] = {}
+        self.schedd_ads: Dict[str, ClassAd] = {}
+        self.updates_received = 0
+        network.register(self)
+
+    # ------------------------------------------------------------------
+    # endpoint protocol
+    # ------------------------------------------------------------------
+    def on_message(self, message: Message) -> None:
+        """Absorb one ad update (fire-and-forget, like UDP updates)."""
+        self.updates_received += 1
+        kind = message.kind
+        ad: ClassAd = message.payload
+        name = ad.get("Name", message.src)
+        if kind == "startd_ad":
+            self.startd_ads[name] = ad
+        elif kind == "schedd_ad":
+            self.schedd_ads[name] = ad
+        elif kind == "invalidate_startd":
+            self.startd_ads.pop(name, None)
+        elif kind == "invalidate_schedd":
+            self.schedd_ads.pop(name, None)
+        # Absorbing an update costs a little CPU on the collector's host.
+        self.sim.spawn(self._charge(), name="collector.update")
+
+    def _charge(self) -> Generator:
+        yield self.host.occupy(self.update_cost_seconds, TAG_USER)
+
+    def handle_request(self, message: Message) -> Generator:
+        """Serve queries: the negotiator's snapshot, or tool queries."""
+        if message.kind == "query_ads":
+            # One response message carrying both ad sets (step 4 of
+            # Table 1: "collector forwards job, machine data to
+            # negotiator for scheduling algorithm").
+            yield self.host.occupy(
+                self.update_cost_seconds * max(1, len(self.startd_ads)), TAG_USER
+            )
+            return {
+                "startds": dict(self.startd_ads),
+                "schedds": dict(self.schedd_ads),
+            }
+        if message.kind == "query_status":
+            yield self.host.occupy(self.update_cost_seconds, TAG_USER)
+            claimed = sum(
+                1 for ad in self.startd_ads.values()
+                if ad.get("State") == "Claimed"
+            )
+            return {
+                "machines": len(self.startd_ads),
+                "claimed": claimed,
+                "schedds": len(self.schedd_ads),
+            }
+        return {"error": f"unknown query {message.kind!r}"}
+
+    # ------------------------------------------------------------------
+    # failure model
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Lose all in-memory state (it rebuilds as updates arrive)."""
+        self.startd_ads.clear()
+        self.schedd_ads.clear()

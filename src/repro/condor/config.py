@@ -1,0 +1,84 @@
+"""Condor pool configuration.
+
+The knobs mirror the parameters the paper manipulates: the schedd's job
+throttle (default "one job every two seconds", which the manual cautions
+against raising), the per-schedd running-job limit used in Figure 16, and
+the cost model that makes schedd work grow with queue length (the
+mechanism behind Figures 13-14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class CondorConfig:
+    """Tunables for the process-centric baseline."""
+
+    # -- schedd ------------------------------------------------------------
+    #: Upper bound on job starts per second (the "job throttle").
+    #: Condor's default is one job every two seconds.
+    job_throttle_per_second: float = 0.5
+    #: Hard cap on simultaneously executing jobs per schedd (Figure 16's
+    #: configuration); None means unlimited.
+    max_jobs_running: Optional[int] = None
+    #: CPU seconds for a job-start operation with an empty queue.
+    start_cost_base_seconds: float = 0.010
+    #: Additional CPU seconds per queued job for a start operation — the
+    #: in-memory scan plus amortised job-log rewrite that make schedd
+    #: work O(queue length).
+    start_cost_per_queued_seconds: float = 0.00012
+    #: CPU seconds for completion processing with an empty queue.
+    completion_cost_base_seconds: float = 0.010
+    #: Additional CPU seconds per queued job for completion processing.
+    completion_cost_per_queued_seconds: float = 0.00012
+    #: Disk time per transactional job-log force.
+    log_write_io_seconds: float = 0.002
+    #: CPU seconds to enqueue one submitted job.
+    submit_cost_seconds: float = 0.002
+    #: Schedd resident memory (MB).
+    schedd_memory_mb: float = 50.0
+    #: Resident memory per queued job (MB).
+    queue_memory_per_job_mb: float = 0.02
+    #: Resident memory retained per *completed* job: the schedd keeps
+    #: recently-completed ads and history-file buffers in memory.  During
+    #: heavy turnover this retention is what tips a nearly-full submit
+    #: machine over the edge (section 5.3.2).
+    completed_job_memory_mb: float = 0.2
+
+    # -- shadow ------------------------------------------------------------
+    #: Resident memory per shadow process (MB).  One shadow exists for
+    #: every running job submitted from the machine (section 2.1).
+    shadow_memory_mb: float = 0.75
+
+    # -- collector/negotiator ----------------------------------------------
+    #: Period of startd ads to the collector.
+    startd_update_interval_seconds: float = 300.0
+    #: Period of schedd ads to the collector.
+    schedd_update_interval_seconds: float = 300.0
+    #: Period of negotiation cycles.
+    negotiation_interval_seconds: float = 10.0
+    #: CPU seconds the collector spends absorbing one ad update.
+    collector_update_cost_seconds: float = 0.0002
+    #: CPU seconds the negotiator spends per ad examined in a cycle.
+    negotiator_per_ad_cost_seconds: float = 0.0005
+
+    # -- shared ------------------------------------------------------------
+    #: Heartbeat the starter sends the shadow while a job runs.
+    starter_update_interval_seconds: float = 120.0
+
+    def start_cost_seconds(self, queue_length: int) -> float:
+        """CPU cost of one job-start operation at the given queue length."""
+        return (
+            self.start_cost_base_seconds
+            + self.start_cost_per_queued_seconds * queue_length
+        )
+
+    def completion_cost_seconds(self, queue_length: int) -> float:
+        """CPU cost of one completion operation at the given queue length."""
+        return (
+            self.completion_cost_base_seconds
+            + self.completion_cost_per_queued_seconds * queue_length
+        )

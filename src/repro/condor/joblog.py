@@ -1,0 +1,74 @@
+"""The schedd's persistent job queue log.
+
+"The schedd uses persistent storage (an OS file) and transactional
+semantics to guarantee that no submitted jobs are lost" (section 2.1).
+The log is append-only with periodic compaction; recovery replays it to
+rebuild the in-memory queue.  The paper's footnote 2 notes that this log
+is the *only* persistent form of the queue and is "neither a common nor
+convenient" way to query the system — which is precisely the
+data-accessibility complaint CondorJ2 answers.
+
+The reproduction keeps the log as an in-memory list of records (the
+simulated disk cost is charged by the schedd); ``replay`` implements the
+recovery path and is exercised by the failure-injection tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One transactional record in the job log."""
+
+    op: str          # 'submit' | 'start' | 'complete' | 'remove'
+    job_id: int
+    time: float
+    payload: Tuple = ()
+
+
+class JobLog:
+    """Append-only job-queue log with compaction and replay."""
+
+    def __init__(self, compaction_threshold: int = 10000):
+        self.records: List[LogRecord] = []
+        self.appends = 0
+        self.compactions = 0
+        self.compaction_threshold = compaction_threshold
+
+    def append(self, op: str, job_id: int, time: float, payload: Tuple = ()) -> None:
+        """Write one record (the schedd charges disk time separately)."""
+        self.records.append(LogRecord(op, job_id, time, payload))
+        self.appends += 1
+        if len(self.records) > self.compaction_threshold:
+            self.compact()
+
+    def compact(self) -> None:
+        """Drop records for jobs that have left the queue."""
+        live = self.live_jobs()
+        self.records = [
+            record for record in self.records if record.job_id in live
+        ]
+        self.compactions += 1
+
+    def live_jobs(self) -> Dict[int, str]:
+        """job_id -> last state implied by the log, for still-live jobs."""
+        state: Dict[int, str] = {}
+        for record in self.records:
+            if record.op == "submit":
+                state[record.job_id] = "idle"
+            elif record.op == "start":
+                if record.job_id in state:
+                    state[record.job_id] = "running"
+            elif record.op in ("complete", "remove"):
+                state.pop(record.job_id, None)
+        return state
+
+    def replay(self) -> Dict[int, str]:
+        """Recovery: rebuild the queue image from the log (same as live)."""
+        return self.live_jobs()
+
+    def __len__(self) -> int:
+        return len(self.records)

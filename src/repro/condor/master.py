@@ -1,0 +1,76 @@
+"""The master daemon: supervision and restart.
+
+"A seventh daemon, the master, runs on every machine in the pool.  The
+master daemon is responsible for monitoring the other daemons and
+restarting a daemon if it fails" (section 2).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Protocol
+
+from repro.sim.kernel import Delay, Simulator
+from repro.sim.monitor import EventLog
+
+
+class Supervisable(Protocol):
+    """What the master needs from a daemon it watches."""
+
+    crashed: bool
+
+    def recover(self) -> None:
+        """Bring the daemon back after a crash."""
+        ...  # pragma: no cover - protocol
+
+
+class Master:
+    """Monitors daemons on one machine and restarts the fallen."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "master",
+        check_interval_seconds: float = 30.0,
+        restart_delay_seconds: float = 10.0,
+        restart_enabled: bool = True,
+        log: Optional[EventLog] = None,
+    ):
+        self.sim = sim
+        self.name = name
+        self.check_interval_seconds = check_interval_seconds
+        self.restart_delay_seconds = restart_delay_seconds
+        self.restart_enabled = restart_enabled
+        self.log = log if log is not None else EventLog()
+        self.daemons: List[Supervisable] = []
+        self.restarts = 0
+        self.running = False
+
+    def watch(self, daemon: Supervisable) -> None:
+        """Add a daemon to the watch list."""
+        self.daemons.append(daemon)
+
+    def start(self) -> None:
+        """Begin the supervision loop."""
+        if self.running:
+            return
+        self.running = True
+        self.sim.spawn(self._loop(), name=f"{self.name}.watch")
+
+    def stop(self) -> None:
+        """Stop supervising."""
+        self.running = False
+
+    def _loop(self) -> Generator:
+        while self.running:
+            yield Delay(self.check_interval_seconds)
+            if not self.running:
+                return
+            for daemon in self.daemons:
+                if daemon.crashed and self.restart_enabled:
+                    self.log.record(
+                        self.sim.now, "master_restarting",
+                        daemon=type(daemon).__name__,
+                    )
+                    yield Delay(self.restart_delay_seconds)
+                    daemon.recover()
+                    self.restarts += 1

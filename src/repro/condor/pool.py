@@ -1,0 +1,217 @@
+"""A complete Condor pool wired together for experiments.
+
+Mirrors the paper's section 5.3 setup: the "server-side" daemons
+(collector, negotiator, and one or more schedds — the paper runs up to
+three to exploit the quad-Xeon) share a single server host, while every
+cluster node runs a startd.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Sequence
+
+from repro.cluster.execution import ExecutionModel, RELIABLE_EXECUTION
+from repro.cluster.job import JobSpec
+from repro.cluster.machine import PhysicalNode
+from repro.cluster.topology import ClusterSpec, build_cluster
+from repro.condor.collector import Collector
+from repro.condor.config import CondorConfig
+from repro.condor.master import Master
+from repro.condor.negotiator import Negotiator
+from repro.condor.schedd import Schedd
+from repro.condor.startd import CondorStartd
+from repro.sim.cpu import quad_xeon
+from repro.sim.kernel import Simulator, Wait
+from repro.sim.monitor import EventLog
+from repro.sim.network import (
+    LatencyModel,
+    MessageTrace,
+    Network,
+    RpcResult,
+)
+
+
+class CondorUser:
+    """A user submitting jobs to a schedd (step 1 of Table 1)."""
+
+    entity_kind = "user"
+
+    def __init__(self, sim: Simulator, network: Network, name: str = "user"):
+        self.sim = sim
+        self.network = network
+        self.address = name
+        network.register(self)
+
+    def on_message(self, message) -> None:
+        """Users receive no pushes."""
+
+    def handle_request(self, message) -> Generator:
+        """Users serve no requests."""
+        return None
+        yield  # pragma: no cover
+
+    def submit(self, schedd_address: str, specs: Sequence[JobSpec]) -> Generator:
+        """Coroutine: submit ``specs`` to one schedd."""
+        payload = {
+            "jobs": [
+                {
+                    "job_id": spec.job_id,
+                    "owner": spec.owner,
+                    "cmd": spec.cmd,
+                    "run_seconds": spec.run_seconds,
+                    "image_size_mb": spec.image_size_mb,
+                    "requirements": spec.requirements,
+                }
+                for spec in specs
+            ]
+        }
+        signal = self.network.request(
+            self, schedd_address, "submit", payload=payload,
+            size_bytes=200 * max(1, len(specs)),
+        )
+        _, result = yield Wait(signal)
+        assert isinstance(result, RpcResult)
+        return result.value if result.ok else {"status": "ERROR"}
+
+
+class CondorPool:
+    """The full process-centric baseline, assembled."""
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        seed: int = 0,
+        schedd_count: int = 1,
+        config: Optional[CondorConfig] = None,
+        execution: Optional[ExecutionModel] = None,
+        record_trace: bool = False,
+        master_restart: bool = False,
+    ):
+        self.sim = Simulator(seed=seed)
+        self.config = config or CondorConfig()
+        self.trace = MessageTrace() if record_trace else None
+        self.network = Network(
+            self.sim, latency=LatencyModel(base_seconds=0.002), trace=self.trace
+        )
+        self.log = EventLog()
+        self.server_host = quad_xeon(self.sim, "condor-server")
+        self.collector = Collector(
+            self.sim, self.server_host, self.network,
+            update_cost_seconds=self.config.collector_update_cost_seconds,
+        )
+        self.negotiator = Negotiator(
+            self.sim, self.server_host, self.network, config=self.config
+        )
+        self.schedds: List[Schedd] = [
+            Schedd(
+                self.sim, self.server_host, self.network,
+                name=f"schedd{i}" if schedd_count > 1 else "schedd",
+                config=self.config, log=self.log,
+            )
+            for i in range(schedd_count)
+        ]
+        execution = execution if execution is not None else RELIABLE_EXECUTION
+        self.nodes: List[PhysicalNode] = build_cluster(self.sim, cluster)
+        self.startds = [
+            CondorStartd(
+                self.sim, self.network, node,
+                config=self.config, execution=execution,
+            )
+            for node in self.nodes
+        ]
+        self.master = Master(
+            self.sim, restart_enabled=master_restart, log=self.log
+        )
+        for schedd in self.schedds:
+            self.master.watch(schedd)
+        self.user = CondorUser(self.sim, self.network)
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Boot every daemon."""
+        if self._started:
+            return
+        self._started = True
+        for startd in self.startds:
+            startd.start()
+        for schedd in self.schedds:
+            schedd.start()
+        self.negotiator.start()
+        self.master.start()
+
+    def submit_at(
+        self, time: float, specs: Sequence[JobSpec], schedd_index: int = 0
+    ) -> None:
+        """Schedule a user submission at simulated ``time``."""
+        address = self.schedds[schedd_index].address
+
+        def do_submit() -> None:
+            self.sim.spawn(self.user.submit(address, specs), name="user.submit")
+
+        self.sim.schedule_at(time, do_submit)
+
+    def submit_round_robin(self, time: float, specs: Sequence[JobSpec]) -> None:
+        """Split a batch evenly across all schedds (section 5.3.3)."""
+        buckets: List[List[JobSpec]] = [[] for _ in self.schedds]
+        for index, spec in enumerate(specs):
+            buckets[index % len(self.schedds)].append(spec)
+        for index, bucket in enumerate(buckets):
+            if bucket:
+                self.submit_at(time, bucket, schedd_index=index)
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+    def completed_count(self) -> int:
+        """Completions across all schedds."""
+        return sum(schedd.jobs_completed for schedd in self.schedds)
+
+    def any_schedd_crashed(self) -> bool:
+        """Whether any schedd has died (section 5.3.2's outcome)."""
+        return any(schedd.crashed for schedd in self.schedds)
+
+    def run_until_complete(
+        self,
+        expected_jobs: int,
+        max_seconds: float = 36000.0,
+        check_interval: float = 30.0,
+        stop_on_crash: bool = False,
+    ) -> float:
+        """Run until completions reach ``expected_jobs`` (or cap/crash)."""
+        self.start()
+        while self.sim.now < max_seconds:
+            horizon = min(self.sim.now + check_interval, max_seconds)
+            self.sim.run(until=horizon)
+            if self.completed_count() >= expected_jobs:
+                break
+            if stop_on_crash and self.any_schedd_crashed():
+                break
+        times = self.log.times("job_completed")
+        return times[-1] if times else self.sim.now
+
+    def run_for(self, seconds: float) -> None:
+        """Run the pool for a fixed window of simulated time."""
+        self.start()
+        self.sim.run(until=self.sim.now + seconds)
+
+    # ------------------------------------------------------------------
+    # measurements
+    # ------------------------------------------------------------------
+    def completion_times(self) -> List[float]:
+        """Timestamps of all processed completions."""
+        return self.log.times("job_completed")
+
+    def start_times(self) -> List[float]:
+        """Timestamps of all job starts."""
+        return self.log.times("job_started")
+
+    def total_running(self) -> int:
+        """Currently executing jobs across all schedds."""
+        return sum(schedd.running_count for schedd in self.schedds)
+
+    def server_utilization(self, until: Optional[float] = None):
+        """Per-minute CPU samples of the server box (Figure 14)."""
+        return self.server_host.utilization(until=until)

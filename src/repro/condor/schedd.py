@@ -1,0 +1,456 @@
+"""The schedd: Condor's single-threaded job-queue manager.
+
+"The schedd serves as the job-queue manager for the machine that it is
+running on ... uses persistent storage (an OS file) and transactional
+semantics ... For operational purposes ... the schedd relies on an
+in-memory version of the queue.  Since the schedd is a single-threaded
+process it needs no concurrency logic" (section 2.1).
+
+Three architectural properties drive every Condor result in the paper,
+and all three are modelled mechanistically here:
+
+* **single thread** — all queue operations run sequentially in one main
+  loop; the schedd can never use more than one core (Figure 14's 25 %
+  ceiling on the quad-Xeon);
+* **O(queue) operations** — starting or completing a job costs CPU
+  proportional to the in-memory queue length (scan + amortised log
+  rewrite), which is why throughput collapses as the queue grows
+  (Figure 13);
+* **one shadow per running job** — each start spawns a shadow whose
+  resident memory lives until the completion is processed; 5,000 running
+  jobs plus turnover churn exhaust the submit machine (section 5.3.2).
+
+The schedd also implements the *direct reuse* fast path of section 5.3.1,
+footnote 9: when a starter completes a job and a substantially similar
+idle job exists, the schedd starts it on the held claim without involving
+the negotiator.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, Generator, List, Optional
+
+from repro.classads import ClassAd
+from repro.cluster.job import JobRecord, JobSpec, JobState
+from repro.condor.config import CondorConfig
+from repro.condor.joblog import JobLog
+from repro.condor.shadow import Shadow
+from repro.sim.cpu import Host, TAG_USER
+from repro.sim.errors import MemoryExhausted
+from repro.sim.kernel import Delay, Signal, Simulator, Wait
+from repro.sim.monitor import EventLog
+from repro.sim.network import Message, Network, NetworkError, RpcResult
+
+
+@dataclass
+class _ClaimedVm:
+    """A VM this schedd holds a claim on."""
+
+    vm_id: str
+    startd_address: str
+    busy_job_id: Optional[int] = None
+
+
+class Schedd:
+    """One job-queue manager daemon."""
+
+    entity_kind = "schedd"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        network: Network,
+        name: str = "schedd",
+        collector_address: str = "collector",
+        config: Optional[CondorConfig] = None,
+        log: Optional[EventLog] = None,
+    ):
+        self.sim = sim
+        self.host = host
+        self.network = network
+        self.name = name
+        self.address = name
+        self.collector_address = collector_address
+        self.config = config or CondorConfig()
+        self.log = log if log is not None else EventLog()
+        self.job_log = JobLog()
+
+        self.queue: Dict[int, JobRecord] = {}
+        self.idle_ids: Deque[int] = deque()
+        self.claims: Dict[str, _ClaimedVm] = {}
+        self.shadows: Dict[int, Shadow] = {}
+        self.inbox: Deque[Dict[str, Any]] = deque()
+
+        self.jobs_completed = 0
+        self.jobs_started = 0
+        self.crashed = False
+        self.crash_time: Optional[float] = None
+        self.running = False
+        self._wake = Signal(f"{name}.wake")
+        self._next_start_allowed = 0.0
+        self.host.allocate_memory(self.config.schedd_memory_mb)
+        network.register(self)
+
+    # ------------------------------------------------------------------
+    # derived state
+    # ------------------------------------------------------------------
+    @property
+    def queue_length(self) -> int:
+        """Jobs currently in the in-memory queue (idle + running)."""
+        return len(self.queue)
+
+    @property
+    def running_count(self) -> int:
+        """Jobs currently executing (== live shadows)."""
+        return len(self.shadows)
+
+    def idle_count(self) -> int:
+        """Jobs waiting for a machine."""
+        return len(self.idle_ids)
+
+    def _claim_capacity_wanted(self) -> int:
+        """How many more claims this schedd wants from the negotiator."""
+        want = len(self.idle_ids)
+        if self.config.max_jobs_running is not None:
+            headroom = self.config.max_jobs_running - len(self.claims)
+            want = min(want, max(0, headroom))
+        return want
+
+    def schedd_ad(self) -> ClassAd:
+        """The submitter ad periodically pushed to the collector."""
+        return ClassAd(
+            {
+                "Name": self.name,
+                "ScheddAddress": self.address,
+                "IdleJobs": len(self.idle_ids),
+                "RunningJobs": self.running_count,
+                "RequestedClaims": self._claim_capacity_wanted(),
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Boot the daemon: advertise and enter the main loop."""
+        if self.running or self.crashed:
+            return
+        self.running = True
+        self._advertise()
+        self.sim.spawn(self._advertise_loop(), name=f"{self.name}.ads")
+        self.sim.spawn(self._main_loop(), name=f"{self.name}.main")
+
+    def _advertise(self) -> None:
+        try:
+            self.network.send(
+                self, self.collector_address, "schedd_ad",
+                payload=self.schedd_ad(), size_bytes=300,
+            )
+        except NetworkError:
+            pass
+
+    def _advertise_loop(self) -> Generator:
+        while self.running:
+            yield Delay(self.config.schedd_update_interval_seconds)
+            if self.running:
+                self._advertise()
+
+    def _crash(self, reason: str) -> None:
+        """The daemon dies (the master may later restart it)."""
+        self.crashed = True
+        self.crash_time = self.sim.now
+        self.running = False
+        self.log.record(self.sim.now, "schedd_crashed", name=self.name, reason=reason)
+        # Shadows die with their parent; their memory returns to the OS.
+        for shadow in self.shadows.values():
+            self.host.free_memory(self.config.shadow_memory_mb)
+            try:
+                self.network.unregister(shadow.address)
+            except NetworkError:  # pragma: no cover - already gone
+                pass
+        self.shadows.clear()
+
+    def recover(self) -> None:
+        """Master-initiated restart: rebuild the queue from the job log."""
+        if not self.crashed:
+            return
+        image = self.job_log.replay()
+        survivors: Dict[int, JobRecord] = {}
+        self.idle_ids.clear()
+        for job_id, state in image.items():
+            record = self.queue.get(job_id)
+            if record is None:
+                continue
+            # Jobs that were running when we died go back to idle: their
+            # shadows are gone and the runs are orphaned.
+            record.state = JobState.IDLE
+            survivors[job_id] = record
+            self.idle_ids.append(job_id)
+        self.queue = survivors
+        self.claims.clear()
+        self.inbox.clear()
+        self.crashed = False
+        self.log.record(self.sim.now, "schedd_recovered", name=self.name,
+                        queue=len(self.queue))
+        self.start()
+
+    # ------------------------------------------------------------------
+    # submission (user-facing RPC)
+    # ------------------------------------------------------------------
+    def handle_request(self, message: Message) -> Generator:
+        """RPCs: submissions from users, job info for the negotiator."""
+        if self.crashed:
+            return {"status": "ERROR", "reason": "schedd is down"}
+        if message.kind == "submit":
+            return (yield from self._handle_submit(message.payload))
+        if message.kind == "get_idle_info":
+            # Step 5 of Table 1: "Negotiator contacts schedd for
+            # job-specific information, schedd sends job data".
+            yield self.host.occupy(self.config.submit_cost_seconds, TAG_USER)
+            return {
+                "idle": len(self.idle_ids),
+                "requested": self._claim_capacity_wanted(),
+                "representative": self._representative_job(),
+            }
+        if message.kind == "query_queue":
+            yield self.host.occupy(self.config.submit_cost_seconds, TAG_USER)
+            return {
+                "idle": len(self.idle_ids),
+                "running": self.running_count,
+                "total": self.queue_length,
+            }
+        return {"status": "ERROR", "reason": f"unknown rpc {message.kind!r}"}
+
+    def _representative_job(self) -> Optional[Dict[str, Any]]:
+        if not self.idle_ids:
+            return None
+        record = self.queue[self.idle_ids[0]]
+        return {
+            "job_id": record.job_id,
+            "owner": record.spec.owner,
+            "requirements": record.spec.requirements,
+            "image_size_mb": record.spec.image_size_mb,
+        }
+
+    def _handle_submit(self, payload: Dict[str, Any]) -> Generator:
+        jobs: List[Dict[str, Any]] = payload["jobs"]
+        accepted: List[int] = []
+        for data in jobs:
+            spec = JobSpec(
+                owner=data.get("owner", "user"),
+                cmd=data.get("cmd", "/bin/science"),
+                run_seconds=float(data.get("run_seconds", 60.0)),
+                image_size_mb=int(data.get("image_size_mb", 16)),
+                requirements=data.get("requirements"),
+            )
+            if "job_id" in data:
+                spec.job_id = data["job_id"]
+            try:
+                self.host.allocate_memory(self.config.queue_memory_per_job_mb)
+            except MemoryExhausted:
+                self._crash("out of memory accepting submission")
+                return {"status": "ERROR", "reason": "schedd crashed"}
+            record = JobRecord(spec, submit_time=self.sim.now)
+            self.queue[spec.job_id] = record
+            self.idle_ids.append(spec.job_id)
+            self.job_log.append("submit", spec.job_id, self.sim.now)
+            accepted.append(spec.job_id)
+            self.log.record(self.sim.now, "job_submitted", job_id=spec.job_id,
+                            schedd=self.name)
+        # Submission cost: in-memory enqueue plus the transactional log
+        # force that guarantees no submitted job is lost.
+        yield self.host.occupy(
+            self.config.submit_cost_seconds * max(1, len(jobs)), TAG_USER
+        )
+        yield self.host.disk_io(self.config.log_write_io_seconds)
+        self._advertise()
+        self._wake_up()
+        return {"status": "OK", "job_ids": accepted}
+
+    # ------------------------------------------------------------------
+    # negotiator interaction
+    # ------------------------------------------------------------------
+    def on_message(self, message: Message) -> None:
+        """One-way traffic: match notifications and shadow events."""
+        if self.crashed:
+            return
+        if message.kind == "match_notify":
+            # Step 6: the negotiator hands us claims on VMs.
+            for match in message.payload["matches"]:
+                vm_id = match["vm_id"]
+                if vm_id not in self.claims:
+                    self.claims[vm_id] = _ClaimedVm(
+                        vm_id=vm_id, startd_address=match["startd_address"]
+                    )
+            self._wake_up()
+        elif message.kind == "shadow_exit":
+            self.inbox.append(message.payload)
+            self._wake_up()
+        elif message.kind == "shadow_update":
+            pass  # queue state is unchanged by mid-run updates
+
+    def _wake_up(self) -> None:
+        if not self._wake.fired:
+            self._wake.fire()
+
+    # ------------------------------------------------------------------
+    # the single-threaded main loop
+    # ------------------------------------------------------------------
+    def _main_loop(self) -> Generator:
+        while self.running:
+            try:
+                # Starts take precedence at the throttle rate; completions
+                # drain with the remaining cycles.  Claims are the natural
+                # backpressure: a start needs a free claim, and claims are
+                # freed by completion processing.
+                start_wait = self._time_until_start_allowed()
+                if start_wait == 0.0 and self._can_start():
+                    yield from self._start_next_job()
+                    continue
+                if self.inbox:
+                    yield from self._process_completion(self.inbox.popleft())
+                    continue
+                yield from self._release_surplus_claims()
+                timeout = start_wait if (start_wait > 0 and self._can_start(ignore_throttle=True)) else 5.0
+                self._wake = Signal(f"{self.name}.wake")
+                yield Wait(self._wake, timeout=timeout)
+            except MemoryExhausted as exc:
+                self._crash(str(exc))
+                return
+
+    def _time_until_start_allowed(self) -> float:
+        return max(0.0, self._next_start_allowed - self.sim.now)
+
+    def _can_start(self, ignore_throttle: bool = False) -> bool:
+        if not self.idle_ids:
+            return False
+        if self.config.max_jobs_running is not None:
+            if self.running_count >= self.config.max_jobs_running:
+                return False
+        return any(claim.busy_job_id is None for claim in self.claims.values())
+
+    def _free_claim(self) -> Optional[_ClaimedVm]:
+        for claim in self.claims.values():
+            if claim.busy_job_id is None:
+                return claim
+        return None
+
+    def _start_next_job(self) -> Generator:
+        """One job-start operation: the expensive O(queue) path."""
+        job_id = self.idle_ids.popleft()
+        record = self.queue[job_id]
+        claim = self._free_claim()
+        if claim is None:  # pragma: no cover - guarded by _can_start
+            self.idle_ids.appendleft(job_id)
+            return
+        claim.busy_job_id = job_id
+        self._next_start_allowed = self.sim.now + 1.0 / self.config.job_throttle_per_second
+
+        # The in-memory scan + log update that grows with queue length.
+        yield self.host.occupy(
+            self.config.start_cost_seconds(self.queue_length), TAG_USER
+        )
+        yield self.host.disk_io(self.config.log_write_io_seconds)
+        self.job_log.append("start", job_id, self.sim.now)
+
+        # Step 9: spawn the shadow (memory!), then step 8: contact startd.
+        self.host.allocate_memory(self.config.shadow_memory_mb)
+        shadow = Shadow(self.sim, self.network, self, job_id, claim.vm_id)
+        self.shadows[job_id] = shadow
+        self.network.record_local(
+            "schedd", "shadow", "spawn", description="schedd spawns shadow"
+        )
+        record.mark_started(self.sim.now, claim.vm_id)
+
+        signal = self.network.request(
+            self, claim.startd_address, "activate_claim",
+            payload={
+                "vm_id": claim.vm_id,
+                "job_id": job_id,
+                "owner": record.spec.owner,
+                "cmd": record.spec.cmd,
+                "run_seconds": record.spec.run_seconds,
+                "shadow_address": shadow.address,
+                "schedd_address": self.address,
+            },
+            size_bytes=512,
+        )
+        _, result = yield Wait(signal)
+        ok = (
+            isinstance(result, RpcResult)
+            and result.ok
+            and result.value.get("status") == "OK"
+        )
+        if not ok:
+            # Activation failed: reap the shadow, requeue the job, and
+            # drop the (evidently stale) claim so we do not retry a VM
+            # another schedd is using.
+            self.host.free_memory(self.config.shadow_memory_mb)
+            self.shadows.pop(job_id, None)
+            try:
+                self.network.unregister(shadow.address)
+            except NetworkError:  # pragma: no cover
+                pass
+            record.mark_dropped()
+            self.idle_ids.append(job_id)
+            self.claims.pop(claim.vm_id, None)
+            return
+        self.jobs_started += 1
+        self.log.record(self.sim.now, "job_started", job_id=job_id,
+                        vm_id=claim.vm_id, schedd=self.name)
+
+    def _process_completion(self, event: Dict[str, Any]) -> Generator:
+        """Post-execution processing: O(queue) CPU plus a log force."""
+        job_id = event["job_id"]
+        yield self.host.occupy(
+            self.config.completion_cost_seconds(self.queue_length), TAG_USER
+        )
+        yield self.host.disk_io(self.config.log_write_io_seconds)
+
+        record = self.queue.pop(job_id, None)
+        shadow = self.shadows.pop(job_id, None)
+        if shadow is not None:
+            self.host.free_memory(self.config.shadow_memory_mb)
+        claim = self.claims.get(event.get("vm_id", ""))
+        if claim is not None and claim.busy_job_id == job_id:
+            claim.busy_job_id = None
+
+        if record is None:
+            return
+        if event.get("ok", True):
+            record.mark_completed(self.sim.now)
+            self.host.free_memory(self.config.queue_memory_per_job_mb)
+            # History retention: completed ads and history buffers stay
+            # resident (the section 5.3.2 turnover-crash mechanism).
+            self.host.allocate_memory(self.config.completed_job_memory_mb)
+            self.job_log.append("complete", job_id, self.sim.now)
+            self.jobs_completed += 1
+            self.log.record(self.sim.now, "job_completed", job_id=job_id,
+                            vm_id=event.get("vm_id"), schedd=self.name)
+        else:
+            # The execute node dropped the job: requeue it (transactional
+            # no-lost-jobs guarantee).
+            record.mark_dropped()
+            self.queue[job_id] = record
+            self.idle_ids.append(job_id)
+            self.log.record(self.sim.now, "job_dropped", job_id=job_id,
+                            vm_id=event.get("vm_id"), schedd=self.name)
+        self._wake_up()
+
+    def _release_surplus_claims(self) -> Generator:
+        """Give claims back when there is nothing left to run on them."""
+        if self.idle_ids:
+            return
+        surplus = [c for c in self.claims.values() if c.busy_job_id is None]
+        for claim in surplus:
+            del self.claims[claim.vm_id]
+            signal = self.network.request(
+                self, claim.startd_address, "release_claim",
+                payload={"vm_id": claim.vm_id}, size_bytes=128,
+            )
+            yield Wait(signal)
+        if surplus:
+            self._advertise()

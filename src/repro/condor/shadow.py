@@ -1,0 +1,87 @@
+"""The shadow: one process per running job on the submit machine.
+
+"Once a job in the queue has been matched to a machine to run on, the
+schedd spawns a shadow.  The shadow is responsible for monitoring the
+remote execution of the job ... the one-to-one relationship between a
+shadow and an executing job means that ... a given submit machine will
+have a shadow process running for every currently executing job submitted
+from that machine" (section 2.1).
+
+That one-to-one relationship is the resource bomb of section 5.3.2: each
+shadow costs resident memory on the submit machine, and 5,000 of them plus
+turnover churn exhaust the 4 GB test box.  The schedd owns the memory
+accounting; the shadow here is the message endpoint and state holder.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Optional
+
+from repro.sim.kernel import Simulator
+from repro.sim.network import Message, Network
+
+
+class Shadow:
+    """Monitor for one remote execution; endpoint for starter messages."""
+
+    entity_kind = "shadow"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        schedd: "Any",
+        job_id: int,
+        vm_id: str,
+    ):
+        self.sim = sim
+        self.network = network
+        self.schedd = schedd
+        self.job_id = job_id
+        self.vm_id = vm_id
+        self.address = f"shadow.{job_id}@{schedd.name}"
+        self.updates_received = 0
+        self.exited = False
+        network.register(self)
+
+    # ------------------------------------------------------------------
+    # endpoint protocol
+    # ------------------------------------------------------------------
+    def on_message(self, message: Message) -> None:
+        """Handle starter traffic (Table 1, steps 11-14)."""
+        if message.kind == "job_started":
+            self.updates_received += 1
+        elif message.kind == "job_update":
+            self.updates_received += 1
+            # Step 13: "Shadow forwards job update messages to schedd".
+            self.network.send(
+                self, self.schedd.address, "shadow_update",
+                payload={"job_id": self.job_id}, size_bytes=128,
+            )
+        elif message.kind == "job_exit":
+            self._exit(message.payload)
+
+    def handle_request(self, message: Message) -> Generator:
+        """Answer a resource request from the job (section 2.1, [6])."""
+        yield from ()
+        return {"job_id": self.job_id, "ok": True}
+
+    # ------------------------------------------------------------------
+    # exit path
+    # ------------------------------------------------------------------
+    def _exit(self, outcome: Dict[str, Any]) -> None:
+        """Step 15: exit and let the schedd capture the exit code."""
+        if self.exited:
+            return
+        self.exited = True
+        self.network.send(
+            self, self.schedd.address, "shadow_exit",
+            payload={
+                "job_id": self.job_id,
+                "vm_id": self.vm_id,
+                "ok": bool(outcome.get("ok", True)),
+                "reason": outcome.get("reason", ""),
+            },
+            size_bytes=160,
+        )
+        self.network.unregister(self.address)

@@ -1,0 +1,256 @@
+"""The Condor startd and starter: the execute-machine daemons.
+
+"The startd serves as the representative for the machine that it is
+running on ... periodically send[s] this data to the collector ... Once an
+execute machine has been assigned a job to run, the startd on that execute
+machine will spawn a starter daemon to set up the actual execution of the
+job" (section 2.3).
+
+One startd runs per physical node and advertises **one ClassAd per
+virtual machine** — scheduling happens at VM granularity in both systems.
+The push-model protocol implemented here is Table 1's:
+
+* periodic ``startd_ad`` updates to the collector (step 3);
+* ``match_notify`` from the negotiator (step 7);
+* ``activate_claim`` RPC from the schedd (step 8), which spawns a starter
+  (step 10);
+* the starter talks to the job's shadow over its own channel
+  (steps 11-14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, Optional
+
+from repro.classads import ClassAd
+from repro.cluster.execution import ExecutionModel, ExecutionOutcome, RELIABLE_EXECUTION
+from repro.cluster.job import JobSpec
+from repro.cluster.machine import PhysicalNode, VirtualMachine, VmState
+from repro.condor.config import CondorConfig
+from repro.sim.kernel import Delay, Simulator, Spawn
+from repro.sim.network import Message, Network
+
+
+@dataclass
+class _Claim:
+    """The claim a schedd holds on one VM."""
+
+    schedd_address: str
+    busy: bool = False
+
+
+class CondorStartd:
+    """Execute-machine representative for one physical node."""
+
+    entity_kind = "startd"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node: PhysicalNode,
+        collector_address: str = "collector",
+        config: Optional[CondorConfig] = None,
+        execution: Optional[ExecutionModel] = None,
+    ):
+        self.sim = sim
+        self.network = network
+        self.node = node
+        self.collector_address = collector_address
+        self.config = config or CondorConfig()
+        self.execution = execution if execution is not None else RELIABLE_EXECUTION
+        self.address = f"startd@{node.name}"
+        self.claims: Dict[str, _Claim] = {}
+        self.jobs_started = 0
+        self.running = False
+        network.register(self)
+
+    # ------------------------------------------------------------------
+    # advertising
+    # ------------------------------------------------------------------
+    def vm_ad(self, vm: VirtualMachine) -> ClassAd:
+        """The ClassAd advertised for one VM slot."""
+        claim = self.claims.get(vm.vm_id)
+        if claim is None:
+            state = "Unclaimed"
+        else:
+            state = "Claimed"
+        ad = ClassAd(
+            {
+                "Name": vm.vm_id,
+                "Machine": self.node.name,
+                "StartdAddress": self.address,
+                "Arch": self.node.arch,
+                "OpSys": self.node.opsys,
+                "Memory": int(self.node.host.memory_mb),
+                "State": state,
+                "Activity": "Busy" if (claim and claim.busy) else "Idle",
+            }
+        )
+        ad.set_expr("Requirements", "TRUE")
+        return ad
+
+    def advertise(self) -> None:
+        """Send one ad per VM to the collector (step 3 of Table 1)."""
+        for vm in self.node.vms:
+            self.network.send(
+                self, self.collector_address, "startd_ad",
+                payload=self.vm_ad(vm), size_bytes=400,
+            )
+
+    def start(self) -> None:
+        """Begin the periodic advertising loop."""
+        if self.running:
+            return
+        self.running = True
+        self.advertise()
+        self.sim.spawn(self._advertise_loop(), name=f"{self.address}.ads")
+
+    def _advertise_loop(self) -> Generator:
+        while self.running:
+            yield Delay(self.config.startd_update_interval_seconds)
+            if self.running:
+                self.advertise()
+
+    def stop(self) -> None:
+        """Stop advertising (machine shutdown)."""
+        self.running = False
+
+    # ------------------------------------------------------------------
+    # endpoint protocol
+    # ------------------------------------------------------------------
+    def on_message(self, message: Message) -> None:
+        """One-way traffic: negotiator match notifications."""
+        if message.kind == "match_notify":
+            # Step 7: the negotiator informs the startd of the match; the
+            # startd now expects the schedd to contact it.  No state need
+            # change until activation.
+            return
+
+    def handle_request(self, message: Message) -> Generator:
+        """RPCs from schedds: claim activation and release."""
+        if message.kind == "activate_claim":
+            return (yield from self._activate_claim(message.payload))
+        if message.kind == "release_claim":
+            vm_id = message.payload["vm_id"]
+            self.claims.pop(vm_id, None)
+            self.advertise_one(vm_id)
+            return {"status": "OK"}
+        return {"status": "ERROR", "reason": f"unknown rpc {message.kind!r}"}
+
+    def advertise_one(self, vm_id: str) -> None:
+        """Refresh the collector's view of a single VM."""
+        for vm in self.node.vms:
+            if vm.vm_id == vm_id:
+                self.network.send(
+                    self, self.collector_address, "startd_ad",
+                    payload=self.vm_ad(vm), size_bytes=400,
+                )
+                return
+
+    def _activate_claim(self, payload: Dict[str, Any]) -> Generator:
+        """Step 8: the schedd confirms the match and hands over the job."""
+        vm_id = payload["vm_id"]
+        vm = next((v for v in self.node.vms if v.vm_id == vm_id), None)
+        if vm is None:
+            return {"status": "ERROR", "reason": f"no vm {vm_id!r}"}
+        if vm.state != VmState.IDLE:
+            return {"status": "ERROR", "reason": f"vm {vm_id!r} busy"}
+        claim = self.claims.get(vm_id)
+        if claim is None:
+            claim = _Claim(schedd_address=payload["schedd_address"])
+            self.claims[vm_id] = claim
+        claim.busy = True
+        spec = JobSpec(
+            owner=payload.get("owner", "user"),
+            cmd=payload.get("cmd", "/bin/science"),
+            run_seconds=float(payload["run_seconds"]),
+        )
+        spec.job_id = payload["job_id"]
+        # Step 10: "Startd spawns starter to start up, monitor job".
+        self.network.record_local(
+            "startd", "starter", "spawn", description="startd spawns starter"
+        )
+        yield Spawn(
+            self._starter(vm, spec, payload["shadow_address"], claim),
+            f"starter:{spec.job_id}",
+        )
+        self.jobs_started += 1
+        return {"status": "OK"}
+
+    # ------------------------------------------------------------------
+    # the starter
+    # ------------------------------------------------------------------
+    def _starter(
+        self,
+        vm: VirtualMachine,
+        spec: JobSpec,
+        shadow_address: str,
+        claim: _Claim,
+    ) -> Generator:
+        """Set up, run and monitor one job, reporting to the shadow."""
+
+        class _StarterEndpoint:
+            """A transient endpoint so traffic is attributed to 'starter'."""
+
+            entity_kind = "starter"
+            address = f"starter.{spec.job_id}@{self.node.name}"
+
+            def on_message(self, message: Message) -> None:
+                pass
+
+            def handle_request(self, message: Message) -> Generator:
+                yield from ()
+                return None
+
+        endpoint = _StarterEndpoint()
+        self.network.register(endpoint)
+
+        def safe_send(kind: str, payload: Dict[str, Any], size: int) -> None:
+            """Shadows can die (schedd crash); a vanished peer is not fatal."""
+            from repro.sim.network import NetworkError
+
+            try:
+                self.network.send(
+                    endpoint, shadow_address, kind, payload=payload, size_bytes=size
+                )
+            except NetworkError:
+                pass
+
+        try:
+            # Step 11: starter and shadow establish their channel.
+            safe_send("job_started", {"job_id": spec.job_id}, 128)
+            update_interval = self.config.starter_update_interval_seconds
+            updates_due = int(spec.run_seconds // update_interval)
+            outcome: Optional[ExecutionOutcome] = None
+
+            if updates_due == 0:
+                outcome = yield from self.execution.run_job(self.sim, vm, spec)
+            else:
+                # Interleave periodic step-12 updates with the run by
+                # running the job and emitting updates on schedule.
+                run = self.sim.spawn(
+                    self.execution.run_job(self.sim, vm, spec),
+                    name=f"exec:{spec.job_id}",
+                )
+                sent = 0
+                while not run.done:
+                    yield Delay(update_interval)
+                    if run.done:
+                        break
+                    sent += 1
+                    safe_send(
+                        "job_update", {"job_id": spec.job_id, "update": sent}, 128
+                    )
+                outcome = run.result
+
+            claim.busy = False
+            payload = {
+                "ok": bool(outcome and outcome.ok),
+                "reason": outcome.reason if outcome else "no outcome",
+            }
+            # Step 14: "Starter notifies shadow when job completes, exits".
+            safe_send("job_exit", payload, 160)
+        finally:
+            self.network.unregister(endpoint.address)

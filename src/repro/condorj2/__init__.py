@@ -1,0 +1,34 @@
+"""CondorJ2: the paper's data-centric cluster management system.
+
+Layers (Figure 4 of the paper):
+
+* :mod:`repro.condorj2.schema` / :mod:`repro.condorj2.database` — the
+  RDBMS substrate (SQLite standing in for DB2).
+* :mod:`repro.condorj2.beans` — the persistence layer (entity beans with
+  container-managed persistence).
+* :mod:`repro.condorj2.logic` — the application-logic layer
+  (coarse-grained services).
+* :mod:`repro.condorj2.web` — the external interfaces (SOAP web services
+  and the pool web site).
+* :mod:`repro.condorj2.cas` — the application server tying it together.
+* :mod:`repro.condorj2.startd` — the pull-model execute-node client.
+* :mod:`repro.condorj2.system` — a fully wired pool for experiments.
+"""
+
+from repro.condorj2.cas import CondorJ2ApplicationServer
+from repro.condorj2.costs import CasCostModel
+from repro.condorj2.database import ConnectionPool, Database, DatabaseError
+from repro.condorj2.startd import CondorJ2Startd, StartdConfig
+from repro.condorj2.system import CondorJ2System, UserClient
+
+__all__ = [
+    "CasCostModel",
+    "CondorJ2ApplicationServer",
+    "CondorJ2Startd",
+    "CondorJ2System",
+    "ConnectionPool",
+    "Database",
+    "DatabaseError",
+    "StartdConfig",
+    "UserClient",
+]

@@ -1,0 +1,39 @@
+"""The persistence layer: entity beans with container-managed persistence.
+
+See section 4.1 of the paper: one bean class per persistent-object type,
+one bean instance per tuple, fine-grained validated operations.
+"""
+
+from repro.condorj2.beans.base import (
+    BeanConsistencyError,
+    BeanContainer,
+    BeanNotFound,
+    BeanStateError,
+    EntityBean,
+)
+from repro.condorj2.beans.entities import (
+    JobBean,
+    MachineBean,
+    MatchBean,
+    PolicyBean,
+    RunBean,
+    UserBean,
+    VmBean,
+    WorkflowBean,
+)
+
+__all__ = [
+    "BeanConsistencyError",
+    "BeanContainer",
+    "BeanNotFound",
+    "BeanStateError",
+    "EntityBean",
+    "JobBean",
+    "MachineBean",
+    "MatchBean",
+    "PolicyBean",
+    "RunBean",
+    "UserBean",
+    "VmBean",
+    "WorkflowBean",
+]

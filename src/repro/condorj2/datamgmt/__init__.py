@@ -1,0 +1,5 @@
+"""Future-work data management services: data sets, k-safety, placement."""
+
+from repro.condorj2.datamgmt.datasets import DatasetService
+
+__all__ = ["DatasetService"]

@@ -1,0 +1,150 @@
+"""User data-set management (the paper's section 6 future work).
+
+"Work to add user data-set (i.e., the inputs and outputs of the
+computational jobs that run on the cluster) management services is in
+progress.  We envision a system that uses k-safety, caching and
+replication to enable more efficient scheduling while also relieving the
+user of much of the data management burden."
+
+Data sets are tuples; replicas are tuples; k-safety is a query; placement
+is a join.  The service below implements exactly that vision on the same
+operational store.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.condorj2.beans import BeanContainer
+from repro.condorj2.database import DatabaseError
+
+
+class DatasetService:
+    """Data-set registration, replication and placement queries."""
+
+    def __init__(self, container: BeanContainer, default_k: int = 2):
+        self.container = container
+        self.default_k = default_k
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register_dataset(
+        self, name: str, owner: str, size_mb: float, now: float,
+        k_safety: Optional[int] = None,
+    ) -> int:
+        """Create a data-set tuple; returns its id."""
+        k = k_safety if k_safety is not None else self.default_k
+        if k < 1:
+            raise DatabaseError("k_safety must be at least 1")
+        with self.container.db.transaction():
+            cursor = self.container.db.execute(
+                "INSERT INTO datasets (name, owner, size_mb, k_safety, created_at)"
+                " VALUES (?, ?, ?, ?, ?)",
+                (name, owner, size_mb, k, now),
+            )
+            return cursor.lastrowid
+
+    def dataset_id(self, name: str) -> Optional[int]:
+        """Look up a data set by name."""
+        return self.container.db.scalar(
+            "SELECT dataset_id FROM datasets WHERE name = ?", (name,)
+        )
+
+    # ------------------------------------------------------------------
+    # replication
+    # ------------------------------------------------------------------
+    def add_replica(self, dataset_id: int, machine_name: str, now: float,
+                    state: str = "valid") -> None:
+        """Record a replica of a data set on a machine."""
+        with self.container.db.transaction():
+            self.container.db.execute(
+                "INSERT INTO dataset_replicas "
+                "(dataset_id, machine_name, state, created_at)"
+                " VALUES (?, ?, ?, ?)",
+                (dataset_id, machine_name, state, now),
+            )
+
+    def replica_machines(self, dataset_id: int) -> List[str]:
+        """Machines holding a valid replica."""
+        rows = self.container.db.query_all(
+            "SELECT machine_name FROM dataset_replicas "
+            "WHERE dataset_id = ? AND state = 'valid' ORDER BY machine_name",
+            (dataset_id,),
+        )
+        return [row["machine_name"] for row in rows]
+
+    def invalidate_replica(self, dataset_id: int, machine_name: str) -> None:
+        """Mark one replica stale (e.g. the machine was re-imaged)."""
+        self.container.db.execute(
+            "UPDATE dataset_replicas SET state = 'stale' "
+            "WHERE dataset_id = ? AND machine_name = ?",
+            (dataset_id, machine_name),
+        )
+
+    # ------------------------------------------------------------------
+    # k-safety
+    # ------------------------------------------------------------------
+    def under_replicated(self) -> List[Dict]:
+        """Data sets with fewer valid replicas than their k-safety.
+
+        One set-oriented query — the data-centric answer to "what do I
+        need to re-replicate?".
+        """
+        rows = self.container.db.query_all(
+            """
+            SELECT d.dataset_id, d.name, d.k_safety,
+                   COUNT(r.replica_id) AS valid_replicas
+            FROM datasets d
+            LEFT JOIN dataset_replicas r
+              ON r.dataset_id = d.dataset_id AND r.state = 'valid'
+            GROUP BY d.dataset_id
+            HAVING valid_replicas < d.k_safety
+            ORDER BY d.dataset_id
+            """
+        )
+        return [dict(row) for row in rows]
+
+    def repair_plan(self, alive_machines: Sequence[str]) -> List[Dict]:
+        """Transfers needed to restore k-safety, avoiding current holders."""
+        plan: List[Dict] = []
+        for entry in self.under_replicated():
+            holders = set(self.replica_machines(entry["dataset_id"]))
+            candidates = [m for m in alive_machines if m not in holders]
+            needed = entry["k_safety"] - entry["valid_replicas"]
+            for machine in candidates[:needed]:
+                plan.append(
+                    {
+                        "dataset_id": entry["dataset_id"],
+                        "name": entry["name"],
+                        "target_machine": machine,
+                        "source_machines": sorted(holders),
+                    }
+                )
+        return plan
+
+    # ------------------------------------------------------------------
+    # placement-aware scheduling hook
+    # ------------------------------------------------------------------
+    def machines_with_inputs(self, dataset_names: Sequence[str]) -> List[str]:
+        """Machines holding valid replicas of *all* the named data sets.
+
+        The "more efficient scheduling" hook: a scheduler can prefer
+        machines where a job's inputs already live.
+        """
+        if not dataset_names:
+            return []
+        placeholders = ",".join("?" for _ in dataset_names)
+        rows = self.container.db.query_all(
+            f"""
+            SELECT r.machine_name
+            FROM dataset_replicas r
+            JOIN datasets d ON d.dataset_id = r.dataset_id
+            WHERE d.name IN ({placeholders}) AND r.state = 'valid'
+            GROUP BY r.machine_name
+            HAVING COUNT(DISTINCT d.dataset_id) = ?
+            ORDER BY r.machine_name
+            """,
+            list(dataset_names) + [len(set(dataset_names))],
+        )
+        return [row["machine_name"] for row in rows]

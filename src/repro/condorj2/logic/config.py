@@ -1,0 +1,108 @@
+"""Configuration management: operational values plus full history.
+
+The real CondorJ2 spends ~11,000 lines on configuration management,
+"operational and historical" (section 4.2.3.1).  The data-centric essence:
+policies are tuples, changes are transactions, and every change leaves an
+audit record that can be queried like everything else.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.condorj2.beans import BeanContainer, PolicyBean
+
+
+#: Policies every pool starts with (scope 'pool').
+DEFAULT_POLICIES = {
+    "scheduling_interval_seconds": "2.0",
+    "heartbeat_interval_seconds": "60.0",
+    "idle_poll_interval_seconds": "2.0",
+    "machine_missing_timeout_seconds": "900.0",
+    "max_matches_per_pass": "1000",
+}
+
+
+class ConfigService:
+    """Typed access to configuration policies with change history."""
+
+    def __init__(self, container: BeanContainer):
+        self.container = container
+
+    def install_defaults(self, now: float) -> None:
+        """Create any missing default policies."""
+        with self.container.db.transaction():
+            for name, value in DEFAULT_POLICIES.items():
+                if self.container.find_optional(PolicyBean, name) is None:
+                    self.container.create(
+                        PolicyBean,
+                        policy_name=name,
+                        policy_value=value,
+                        scope="pool",
+                        updated_at=now,
+                        updated_by="system",
+                    )
+
+    def get(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        """Current value of a policy (None/default when absent)."""
+        bean = self.container.find_optional(PolicyBean, name)
+        if bean is None:
+            return default
+        return bean["policy_value"]
+
+    def get_float(self, name: str, default: float) -> float:
+        """Numeric policy accessor."""
+        raw = self.get(name)
+        if raw is None:
+            return default
+        try:
+            return float(raw)
+        except ValueError:
+            return default
+
+    def set(self, name: str, value: str, now: float, changed_by: str = "admin") -> None:
+        """Create or change a policy, recording history on change."""
+        with self.container.db.transaction():
+            bean = self.container.find_optional(PolicyBean, name)
+            if bean is None:
+                self.container.create(
+                    PolicyBean,
+                    policy_name=name,
+                    policy_value=value,
+                    scope="pool",
+                    updated_at=now,
+                    updated_by=changed_by,
+                )
+                self.container.db.execute(
+                    "INSERT INTO config_history "
+                    "(policy_name, old_value, new_value, changed_at, changed_by) "
+                    "VALUES (?, NULL, ?, ?, ?)",
+                    (name, value, now, changed_by),
+                )
+            else:
+                bean.change_value(value, now, changed_by)
+
+    def history(self, name: str) -> List[Dict[str, Any]]:
+        """All recorded changes for one policy, oldest first."""
+        rows = self.container.db.query_all(
+            "SELECT * FROM config_history WHERE policy_name = ? ORDER BY change_id",
+            (name,),
+        )
+        return [dict(row) for row in rows]
+
+    def value_at(self, name: str, time: float) -> Optional[str]:
+        """Point-in-time reconstruction: the value in force at ``time``."""
+        row = self.container.db.query_one(
+            """
+            SELECT new_value FROM config_history
+            WHERE policy_name = ? AND changed_at <= ?
+            ORDER BY change_id DESC LIMIT 1
+            """,
+            (name, time),
+        )
+        if row is not None:
+            return row["new_value"]
+        bean = self.container.find_optional(PolicyBean, name)
+        if bean is not None and bean["updated_at"] <= time:
+            return bean["policy_value"]
+        return None

@@ -1,0 +1,146 @@
+"""Heartbeat processing: the startd-facing pulse of the pull model.
+
+Every interaction an execute node has with the system rides on the
+heartbeat web service (Table 2, steps 3-4, 7-8, 12-15): machine liveness,
+VM status, embedded job events (completions, drops) and, in the response,
+MATCHINFO for idle VMs.  "Execute nodes in CondorJ2 always initiate any
+interaction they have with the CAS" (section 5.2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.condorj2.beans import BeanContainer, MachineBean, VmBean
+from repro.condorj2.logic.lifecycle import LifecycleService
+from repro.condorj2.logic.scheduling import SchedulingService
+
+
+class HeartbeatService:
+    """Processes startd heartbeats and assembles responses."""
+
+    def __init__(
+        self,
+        container: BeanContainer,
+        scheduling: SchedulingService,
+        lifecycle: LifecycleService,
+        inline_scheduling: bool = True,
+    ):
+        self.container = container
+        self.scheduling = scheduling
+        self.lifecycle = lifecycle
+        #: Run an opportunistic scheduling pass while handling a heartbeat
+        #: that freed VMs, so the response can carry fresh MATCHINFO.  The
+        #: server still only ever *reacts* to client-initiated events —
+        #: the defining property of the pull model.
+        self.inline_scheduling = inline_scheduling
+        self.heartbeats_processed = 0
+
+    # ------------------------------------------------------------------
+    # machine registration
+    # ------------------------------------------------------------------
+    def register_machine(self, description: Dict[str, Any], now: float) -> None:
+        """First contact (or reboot): create/refresh machine and VM tuples."""
+        name = description["name"]
+        with self.container.db.transaction():
+            machine = self.container.find_optional(MachineBean, name)
+            if machine is None:
+                machine = self.container.create(
+                    MachineBean,
+                    machine_name=name,
+                    arch=description.get("arch", "INTEL"),
+                    opsys=description.get("opsys", "LINUX"),
+                    cores=description.get("cores", 1),
+                    memory_mb=description.get("memory_mb", 512),
+                    vm_count=description.get("vm_count", 1),
+                    state="alive",
+                    last_heartbeat=now,
+                    boot_count=0,
+                )
+            for index in range(description.get("vm_count", 1)):
+                vm_id = f"vm{index}@{name}"
+                if self.container.find_optional(VmBean, vm_id) is None:
+                    self.container.create(
+                        VmBean,
+                        vm_id=vm_id,
+                        machine_name=name,
+                        state="idle",
+                        last_update=now,
+                    )
+            machine.record_boot(now)
+
+    # ------------------------------------------------------------------
+    # the heartbeat proper
+    # ------------------------------------------------------------------
+    def process(self, payload: Dict[str, Any], now: float) -> Dict[str, Any]:
+        """Handle one heartbeat; returns the response payload.
+
+        ``payload`` carries::
+
+            machine: str            the machine name
+            vms: [{vm_id, state}]   current slot states
+            events: [{kind, job_id, vm_id, reason?}]
+                                    job events since the last heartbeat
+                                    (kind in completed|dropped|started)
+
+        The response is ``{"status": "OK"|"MATCHINFO", "matches": [...]}``
+        mirroring Table 2's step 4 (OK) and step 8 (MATCHINFO).
+        """
+        self.heartbeats_processed += 1
+        machine_name = payload["machine"]
+        with self.container.db.transaction():
+            machine = self.container.find(MachineBean, machine_name)
+            machine.heartbeat(now)
+            # Job events first: completions free VMs for new matches.
+            for event in payload.get("events", ()):
+                self._apply_event(event, now)
+            for vm_info in payload.get("vms", ()):
+                vm = self.container.find_optional(VmBean, vm_info["vm_id"])
+                if vm is not None:
+                    vm.set_state(vm_info["state"], now)
+        matches = self.scheduling.pending_matches_for_machine(machine_name)
+        if not matches and self.inline_scheduling and self._has_idle_vm(machine_name):
+            self.scheduling.run_pass(now)
+            matches = self.scheduling.pending_matches_for_machine(machine_name)
+        if matches:
+            return {"status": "MATCHINFO", "matches": matches}
+        return {"status": "OK", "matches": []}
+
+    def _has_idle_vm(self, machine_name: str) -> bool:
+        return bool(
+            self.container.db.scalar(
+                "SELECT COUNT(*) FROM vms WHERE machine_name = ? AND state = 'idle'",
+                (machine_name,),
+            )
+        )
+
+    def _apply_event(self, event: Dict[str, Any], now: float) -> None:
+        kind = event["kind"]
+        if kind == "completed":
+            self.lifecycle.complete_job(event["job_id"], event["vm_id"], now)
+        elif kind == "dropped":
+            self.lifecycle.report_drop(
+                event["job_id"], event["vm_id"], now, reason=event.get("reason", "")
+            )
+        elif kind == "started":
+            # Informational: the job is already 'running' after acceptMatch.
+            vm = self.container.find_optional(VmBean, event["vm_id"])
+            if vm is not None:
+                vm.set_state("busy", now)
+        else:
+            raise ValueError(f"unknown heartbeat event kind {kind!r}")
+
+    # ------------------------------------------------------------------
+    # liveness sweep (server-side)
+    # ------------------------------------------------------------------
+    def mark_missing_machines(self, now: float, timeout_seconds: float) -> int:
+        """Mark machines whose last heartbeat is too old as missing."""
+        with self.container.db.transaction():
+            cursor = self.container.db.execute(
+                """
+                UPDATE machines SET state = 'missing'
+                WHERE state = 'alive' AND last_heartbeat < ?
+                """,
+                (now - timeout_seconds,),
+            )
+            return cursor.rowcount

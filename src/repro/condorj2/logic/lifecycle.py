@@ -1,0 +1,118 @@
+"""Job lifecycle services: acceptMatch, drops, completion.
+
+Table 2, steps 9-15: the startd accepts a match (match tuple deleted, run
+tuple inserted, job updated), the starter runs the job, and completion
+deletes the run and job tuples.  Completion also performs the
+*post-execution processing* the paper highlights in section 5.1.1:
+recording history, recording accounting, charging the user, and removing
+the job from the operational queue — all inside one transaction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.condorj2.beans import BeanContainer, JobBean, UserBean, VmBean
+from repro.condorj2.beans.base import BeanNotFound, BeanStateError
+from repro.sim.monitor import EventLog
+
+
+class LifecycleService:
+    """State transitions for matched/running jobs."""
+
+    def __init__(self, container: BeanContainer, log: Optional[EventLog] = None):
+        self.container = container
+        self.log = log if log is not None else EventLog()
+
+    # ------------------------------------------------------------------
+    # acceptMatch (steps 9-10)
+    # ------------------------------------------------------------------
+    def accept_match(self, job_id: int, vm_id: str, now: float) -> dict:
+        """The startd accepted a match: match -> run, job -> running."""
+        with self.container.db.transaction():
+            row = self.container.db.query_one(
+                "SELECT match_id FROM matches WHERE job_id = ? AND vm_id = ?",
+                (job_id, vm_id),
+            )
+            if row is None:
+                raise BeanNotFound(f"no match for job {job_id} on {vm_id}")
+            self.container.db.execute(
+                "DELETE FROM matches WHERE match_id = ?", (row["match_id"],)
+            )
+            self.container.db.execute(
+                "INSERT INTO runs (job_id, vm_id, started_at) VALUES (?, ?, ?)",
+                (job_id, vm_id, now),
+            )
+            job = self.container.find(JobBean, job_id)
+            job.mark_running()
+            vm = self.container.find(VmBean, vm_id)
+            vm.set_state("claiming", now)
+        self.log.record(now, "job_started", job_id=job_id, vm_id=vm_id)
+        return {"job_id": job_id, "vm_id": vm_id, "status": "OK"}
+
+    # ------------------------------------------------------------------
+    # drops and vacates
+    # ------------------------------------------------------------------
+    def report_drop(self, job_id: int, vm_id: str, now: float, reason: str = "") -> None:
+        """A start attempt failed; requeue the job, free the VM.
+
+        This is the transactional guarantee of the paper's footnote 7:
+        "Ensuring that the job queue manager does not drop jobs is one
+        reason why job management requires transactions."
+        """
+        with self.container.db.transaction():
+            self.container.db.execute("DELETE FROM runs WHERE job_id = ?", (job_id,))
+            self.container.db.execute("DELETE FROM matches WHERE job_id = ?", (job_id,))
+            job = self.container.find_optional(JobBean, job_id)
+            if job is not None and job["state"] in ("matched", "running"):
+                job.mark_idle_again()
+            vm = self.container.find_optional(VmBean, vm_id)
+            if vm is not None:
+                vm.set_state("idle", now)
+        self.log.record(now, "job_dropped", job_id=job_id, vm_id=vm_id, reason=reason)
+
+    # ------------------------------------------------------------------
+    # completion (steps 14-15) + post-execution processing
+    # ------------------------------------------------------------------
+    def complete_job(self, job_id: int, vm_id: str, now: float) -> None:
+        """Delete run and job tuples; write history and accounting."""
+        with self.container.db.transaction():
+            job = self.container.find(JobBean, job_id)
+            if job["state"] != "running":
+                raise BeanStateError(
+                    f"completion for job {job_id} in state {job['state']!r}"
+                )
+            run = self.container.db.query_one(
+                "SELECT started_at FROM runs WHERE job_id = ?", (job_id,)
+            )
+            started_at = run["started_at"] if run is not None else None
+            self.container.db.execute("DELETE FROM runs WHERE job_id = ?", (job_id,))
+            job.mark_completed()
+            self.container.db.execute(
+                """
+                INSERT INTO job_history
+                    (job_id, owner, workflow_id, cmd, run_seconds, submitted_at,
+                     started_at, completed_at, final_state, vm_id, attempts)
+                VALUES (?, ?, ?, ?, ?, ?, ?, ?, 'completed', ?, ?)
+                """,
+                (
+                    job_id, job["owner"], job["workflow_id"], job["cmd"],
+                    job["run_seconds"], job["submitted_at"], started_at, now,
+                    vm_id, job["attempts"],
+                ),
+            )
+            wall = (now - started_at) if started_at is not None else job["run_seconds"]
+            self.container.db.execute(
+                """
+                INSERT INTO accounting (owner, job_id, vm_id, wall_seconds, recorded_at)
+                VALUES (?, ?, ?, ?, ?)
+                """,
+                (job["owner"], job_id, vm_id, wall, now),
+            )
+            user = self.container.find(UserBean, job["owner"])
+            user.charge_usage(wall)
+            job.remove()
+            vm = self.container.find_optional(VmBean, vm_id)
+            if vm is not None:
+                vm.set_state("idle", now)
+        self.log.record(now, "job_completed", job_id=job_id, vm_id=vm_id)

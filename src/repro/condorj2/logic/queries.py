@@ -1,0 +1,134 @@
+"""Monitoring and reporting queries.
+
+One of the paper's core complaints about process-centric systems is that
+"efficiently accessing and manipulating this data is often difficult or
+impossible" — querying a Condor pool means asking each daemon for its
+in-memory slice.  In CondorJ2 every question is a SQL query; this module
+collects the standard reports the pool web site and web services expose.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.condorj2.database import Database
+
+
+class ReportService:
+    """Read-only queries over the operational and historical tables."""
+
+    def __init__(self, db: Database):
+        self.db = db
+
+    def queue_summary(self) -> Dict[str, int]:
+        """Jobs per state (the condor_q equivalent, one GROUP BY)."""
+        rows = self.db.query_all(
+            "SELECT state, COUNT(*) AS n FROM jobs GROUP BY state"
+        )
+        summary = {row["state"]: row["n"] for row in rows}
+        summary.setdefault("idle", 0)
+        summary.setdefault("matched", 0)
+        summary.setdefault("running", 0)
+        return summary
+
+    def pool_status(self) -> Dict[str, Any]:
+        """The condor_status equivalent: machines, VMs, load."""
+        machines = self.db.query_one(
+            "SELECT COUNT(*) AS total, "
+            "SUM(CASE WHEN state='alive' THEN 1 ELSE 0 END) AS alive FROM machines"
+        )
+        vms = self.db.query_all("SELECT state, COUNT(*) AS n FROM vms GROUP BY state")
+        vm_states = {row["state"]: row["n"] for row in vms}
+        return {
+            "machines_total": machines["total"] or 0,
+            "machines_alive": machines["alive"] or 0,
+            "vms_idle": vm_states.get("idle", 0),
+            "vms_busy": vm_states.get("busy", 0) + vm_states.get("claiming", 0),
+            "matches_pending": self.db.table_count("matches"),
+            "runs_in_flight": self.db.table_count("runs"),
+        }
+
+    def user_summary(self, owner: str) -> Dict[str, Any]:
+        """Per-user queue and usage statistics."""
+        queued = self.db.query_one(
+            """
+            SELECT
+              SUM(CASE WHEN state = 'idle' THEN 1 ELSE 0 END) AS idle,
+              SUM(CASE WHEN state = 'running' THEN 1 ELSE 0 END) AS running
+            FROM jobs WHERE owner = ?
+            """,
+            (owner,),
+        )
+        completed = self.db.scalar(
+            "SELECT COUNT(*) FROM job_history WHERE owner = ?", (owner,)
+        )
+        usage = self.db.scalar(
+            "SELECT accumulated_usage_seconds FROM users WHERE user_name = ?", (owner,)
+        )
+        return {
+            "owner": owner,
+            "idle": queued["idle"] or 0,
+            "running": queued["running"] or 0,
+            "completed": completed or 0,
+            "usage_seconds": usage or 0.0,
+        }
+
+    def job_detail(self, job_id: int) -> Optional[Dict[str, Any]]:
+        """Everything known about one job, live or historical."""
+        live = self.db.query_one("SELECT * FROM jobs WHERE job_id = ?", (job_id,))
+        if live is not None:
+            detail = dict(live)
+            detail["source"] = "queue"
+            return detail
+        historical = self.db.query_one(
+            "SELECT * FROM job_history WHERE job_id = ?", (job_id,)
+        )
+        if historical is not None:
+            detail = dict(historical)
+            detail["source"] = "history"
+            return detail
+        return None
+
+    def throughput_by_minute(self) -> List[Dict[str, Any]]:
+        """Completions bucketed per minute — Figure 12's series as SQL."""
+        rows = self.db.query_all(
+            """
+            SELECT CAST(completed_at / 60 AS INTEGER) AS minute, COUNT(*) AS n
+            FROM job_history
+            WHERE completed_at IS NOT NULL
+            GROUP BY minute ORDER BY minute
+            """
+        )
+        return [dict(row) for row in rows]
+
+    def machine_boot_records(self, machine_name: str) -> List[Dict[str, Any]]:
+        """Historical machine information (section 4.2.3.1's ~9,000 lines)."""
+        rows = self.db.query_all(
+            "SELECT * FROM machine_boot_history WHERE machine_name = ? "
+            "ORDER BY booted_at",
+            (machine_name,),
+        )
+        return [dict(row) for row in rows]
+
+    def accounting_by_user(self) -> List[Dict[str, Any]]:
+        """Total charged wall-seconds per user."""
+        rows = self.db.query_all(
+            """
+            SELECT owner, COUNT(*) AS jobs, SUM(wall_seconds) AS wall_seconds
+            FROM accounting GROUP BY owner ORDER BY owner
+            """
+        )
+        return [dict(row) for row in rows]
+
+    def drops_by_machine(self) -> List[Dict[str, Any]]:
+        """Machines that reported dropped jobs (input to Figure 8)."""
+        rows = self.db.query_all(
+            """
+            SELECT v.machine_name, COUNT(*) AS drops
+            FROM job_history h
+            JOIN vms v ON v.vm_id = h.vm_id
+            WHERE h.final_state = 'dropped'
+            GROUP BY v.machine_name
+            """
+        )
+        return [dict(row) for row in rows]

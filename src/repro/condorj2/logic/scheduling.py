@@ -1,0 +1,111 @@
+"""The set-oriented scheduling pass.
+
+Table 2, steps 5-6: "CAS selects relevant machine tuples, job tuples from
+database for scheduling algorithm; CAS inserts match tuple, updates related
+job tuple in db."
+
+Where Condor's negotiator pulls every ad into memory and iterates, the
+CondorJ2 scheduler is a handful of SQL statements whose cost is governed by
+indexes, not by queue length — that difference is exactly why Figure 13's
+collapse (Condor) has no CondorJ2 counterpart.  Jobs are matched FIFO
+within user priority; dependency edges hold a job back until its
+prerequisites appear in ``job_history``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.condorj2.beans import BeanContainer
+
+
+class SchedulingService:
+    """Creates match tuples pairing idle jobs with idle VMs."""
+
+    def __init__(self, container: BeanContainer):
+        self.container = container
+        self.passes = 0
+        self.matches_created = 0
+
+    def _idle_vms(self, limit: int) -> List[str]:
+        """Idle VMs on alive machines with no pending match or run."""
+        rows = self.container.db.query_all(
+            """
+            SELECT v.vm_id
+            FROM vms v
+            JOIN machines m ON m.machine_name = v.machine_name
+            WHERE v.state = 'idle'
+              AND m.state = 'alive'
+              AND v.vm_id NOT IN (SELECT vm_id FROM matches)
+              AND v.vm_id NOT IN (SELECT vm_id FROM runs)
+            ORDER BY v.vm_id
+            LIMIT ?
+            """,
+            (limit,),
+        )
+        return [row["vm_id"] for row in rows]
+
+    def _eligible_jobs(self, limit: int) -> List[Tuple[int, str]]:
+        """Idle jobs whose dependencies are all complete, best-user first.
+
+        The dependency gate is itself set-oriented: a job is held back
+        while any of its prerequisite ids is still present in ``jobs``
+        (completed jobs move to ``job_history``).
+        """
+        rows = self.container.db.query_all(
+            """
+            SELECT j.job_id, j.depends_on
+            FROM jobs j
+            JOIN users u ON u.user_name = j.owner
+            WHERE j.state = 'idle'
+            ORDER BY u.priority ASC, j.job_id ASC
+            LIMIT ?
+            """,
+            (limit,),
+        )
+        eligible: List[Tuple[int, str]] = []
+        for row in rows:
+            depends_on = row["depends_on"]
+            if depends_on:
+                pending = self.container.db.scalar(
+                    f"SELECT COUNT(*) FROM jobs WHERE job_id IN ({depends_on})"
+                )
+                if pending:
+                    continue
+            eligible.append((row["job_id"], depends_on))
+        return eligible
+
+    def run_pass(self, now: float, limit: int = 1000) -> int:
+        """One scheduling pass; returns the number of matches created."""
+        self.passes += 1
+        created = 0
+        with self.container.db.transaction():
+            vms = self._idle_vms(limit)
+            if not vms:
+                return 0
+            jobs = self._eligible_jobs(len(vms))
+            for vm_id, (job_id, _deps) in zip(vms, jobs):
+                self.container.db.execute(
+                    "INSERT INTO matches (job_id, vm_id, created_at) VALUES (?, ?, ?)",
+                    (job_id, vm_id, now),
+                )
+                self.container.db.execute(
+                    "UPDATE jobs SET state = 'matched' WHERE job_id = ?", (job_id,)
+                )
+                created += 1
+        self.matches_created += created
+        return created
+
+    def pending_matches_for_machine(self, machine_name: str) -> List[dict]:
+        """MATCHINFO payload for one machine's VMs (Table 2, step 8)."""
+        rows = self.container.db.query_all(
+            """
+            SELECT mt.job_id, mt.vm_id, j.cmd, j.args, j.run_seconds, j.owner
+            FROM matches mt
+            JOIN vms v ON v.vm_id = mt.vm_id
+            JOIN jobs j ON j.job_id = mt.job_id
+            WHERE v.machine_name = ?
+            """,
+            (machine_name,),
+        )
+        return [dict(row) for row in rows]

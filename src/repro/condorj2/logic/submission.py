@@ -1,0 +1,88 @@
+"""Job and workflow submission services.
+
+"User invokes submit job service on CAS; CAS inserts a job tuple into
+database" — Table 2, steps 1-2.  Submission is the simplest illustration
+of the coarse/fine granularity split: one coarse ``submit_jobs`` call maps
+to many fine-grained bean creations inside a single transaction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.cluster.job import JobSpec
+from repro.condorj2.beans import BeanContainer, JobBean, UserBean, WorkflowBean
+from repro.condorj2.beans.base import BeanNotFound, BeanStateError
+
+
+class SubmissionService:
+    """Coarse-grained submission operations."""
+
+    def __init__(self, container: BeanContainer):
+        self.container = container
+
+    def ensure_user(self, user_name: str, now: float) -> UserBean:
+        """Find or create the user tuple for ``user_name``."""
+        existing = self.container.find_optional(UserBean, user_name)
+        if existing is not None:
+            return existing
+        return self.container.create(UserBean, user_name=user_name, created_at=now)
+
+    def submit_job(self, spec: JobSpec, now: float) -> int:
+        """Insert one job tuple; returns the job id."""
+        with self.container.db.transaction():
+            self.ensure_user(spec.owner, now)
+            bean = self.container.create(
+                JobBean,
+                job_id=spec.job_id,
+                owner=spec.owner,
+                workflow_id=spec.workflow_id,
+                cmd=spec.cmd,
+                args=" ".join(spec.args),
+                state="idle",
+                run_seconds=spec.run_seconds,
+                image_size_mb=spec.image_size_mb,
+                requirements=spec.requirements,
+                rank=spec.rank,
+                depends_on=",".join(str(dep) for dep in spec.depends_on),
+                submitted_at=now,
+                attempts=0,
+            )
+        return bean.pk_value
+
+    def submit_jobs(self, specs: Sequence[JobSpec], now: float) -> List[int]:
+        """Insert a batch of jobs in one transaction (one submit call)."""
+        ids: List[int] = []
+        with self.container.db.transaction():
+            owners = {spec.owner for spec in specs}
+            for owner in sorted(owners):
+                self.ensure_user(owner, now)
+            for spec in specs:
+                ids.append(self.submit_job(spec, now))
+        return ids
+
+    def submit_workflow(
+        self, name: str, owner: str, specs: Sequence[JobSpec], now: float
+    ) -> int:
+        """Create a workflow tuple and its member jobs atomically."""
+        with self.container.db.transaction():
+            self.ensure_user(owner, now)
+            workflow = self.container.create(
+                WorkflowBean, owner=owner, name=name, submitted_at=now
+            )
+            for spec in specs:
+                spec.workflow_id = workflow.pk_value
+                self.submit_job(spec, now)
+        return workflow.pk_value
+
+    def remove_job(self, job_id: int) -> None:
+        """User-initiated removal of a queued (not running) job."""
+        with self.container.db.transaction():
+            job = self.container.find(JobBean, job_id)
+            if job["state"] not in ("idle", "matched", "held"):
+                raise BeanStateError(
+                    f"cannot remove job {job_id} in state {job['state']!r}"
+                )
+            self.container.db.execute("DELETE FROM matches WHERE job_id = ?", (job_id,))
+            job.transition("removed")
+            job.remove()

@@ -1,0 +1,119 @@
+"""Data provenance services (the paper's section 6 future work).
+
+"Users would access these services to answer questions like 'What
+executable and input data generated this particular output data set and
+which versions of the executable and input(s) were used?'"
+
+Provenance records are tuples written at job completion; lineage queries
+are recursive walks over them — one more illustration that, with the
+operational data in a database, a new service is a schema extension plus
+a query.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.condorj2.beans import BeanContainer
+
+
+class ProvenanceService:
+    """Records and queries executable/input/output lineage."""
+
+    def __init__(self, container: BeanContainer):
+        self.container = container
+
+    def record(
+        self,
+        output_name: str,
+        job_id: int,
+        executable: str,
+        now: float,
+        executable_version: str = "",
+        inputs: Sequence[str] = (),
+        input_versions: Sequence[str] = (),
+    ) -> int:
+        """Write one provenance tuple for a produced output."""
+        with self.container.db.transaction():
+            cursor = self.container.db.execute(
+                """
+                INSERT INTO provenance
+                    (output_name, job_id, executable, executable_version,
+                     input_names, input_versions, recorded_at)
+                VALUES (?, ?, ?, ?, ?, ?, ?)
+                """,
+                (
+                    output_name, job_id, executable, executable_version,
+                    ",".join(inputs), ",".join(input_versions), now,
+                ),
+            )
+            return cursor.lastrowid
+
+    def derivation_of(self, output_name: str) -> Optional[Dict]:
+        """The paper's question: what produced this output?"""
+        row = self.container.db.query_one(
+            "SELECT * FROM provenance WHERE output_name = ? "
+            "ORDER BY prov_id DESC LIMIT 1",
+            (output_name,),
+        )
+        if row is None:
+            return None
+        return {
+            "output_name": row["output_name"],
+            "job_id": row["job_id"],
+            "executable": row["executable"],
+            "executable_version": row["executable_version"],
+            "inputs": [i for i in row["input_names"].split(",") if i],
+            "input_versions": [v for v in row["input_versions"].split(",") if v],
+            "recorded_at": row["recorded_at"],
+        }
+
+    def lineage(self, output_name: str, max_depth: int = 32) -> List[Dict]:
+        """Full ancestry: walk inputs-of-inputs back to source data.
+
+        Returns derivation records in breadth-first order starting from
+        ``output_name``.  Cycles (which should not happen) are guarded by
+        the visited set and the depth cap.
+        """
+        results: List[Dict] = []
+        visited: Set[str] = set()
+        frontier = [output_name]
+        depth = 0
+        while frontier and depth < max_depth:
+            next_frontier: List[str] = []
+            for name in frontier:
+                if name in visited:
+                    continue
+                visited.add(name)
+                record = self.derivation_of(name)
+                if record is None:
+                    continue
+                results.append(record)
+                next_frontier.extend(record["inputs"])
+            frontier = next_frontier
+            depth += 1
+        return results
+
+    def outputs_derived_from(self, input_name: str) -> List[str]:
+        """Impact analysis: which outputs used this input (directly)?"""
+        rows = self.container.db.query_all(
+            """
+            SELECT output_name FROM provenance
+            WHERE ',' || input_names || ',' LIKE ?
+            ORDER BY output_name
+            """,
+            (f"%,{input_name},%",),
+        )
+        return [row["output_name"] for row in rows]
+
+    def executables_used(self, owner_job_ids: Sequence[int]) -> List[str]:
+        """Distinct executables recorded for the given jobs."""
+        if not owner_job_ids:
+            return []
+        placeholders = ",".join("?" for _ in owner_job_ids)
+        rows = self.container.db.query_all(
+            f"SELECT DISTINCT executable FROM provenance "
+            f"WHERE job_id IN ({placeholders}) ORDER BY executable",
+            list(owner_job_ids),
+        )
+        return [row["executable"] for row in rows]

@@ -1,0 +1,226 @@
+"""Relational schema for the CondorJ2 operational store.
+
+"Since the 'live' operational data resides in the database, the system
+extensibility problem reduces to a data-modeling/schema design problem"
+(section 4.2.3).  This module *is* that schema: every piece of state that
+Condor keeps in daemon memory lives here as a tuple.
+
+Operational tables
+    users, workflows, jobs, machines, vms, matches, runs, config_policies
+
+Historical tables (the paper calls out configuration management and
+historical machine information as major CondorJ2 components)
+    job_history, machine_boot_history, machine_history, config_history,
+    accounting
+
+The ``matches`` and ``runs`` tables mirror Table 2's steps exactly: the
+scheduling pass *inserts match tuples*; acceptMatch *deletes the match and
+inserts a run tuple*; completion *deletes the run and job tuples* (moving
+the job into history).
+"""
+
+from __future__ import annotations
+
+#: Ordered DDL statements; executed once at database creation.
+SCHEMA_STATEMENTS = [
+    """
+    CREATE TABLE users (
+        user_name     TEXT PRIMARY KEY,
+        priority      REAL NOT NULL DEFAULT 0.5,
+        accumulated_usage_seconds REAL NOT NULL DEFAULT 0.0,
+        created_at    REAL NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE workflows (
+        workflow_id   INTEGER PRIMARY KEY,
+        owner         TEXT NOT NULL REFERENCES users(user_name),
+        name          TEXT NOT NULL DEFAULT 'workflow',
+        submitted_at  REAL NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE jobs (
+        job_id        INTEGER PRIMARY KEY,
+        owner         TEXT NOT NULL REFERENCES users(user_name),
+        workflow_id   INTEGER REFERENCES workflows(workflow_id),
+        cmd           TEXT NOT NULL,
+        args          TEXT NOT NULL DEFAULT '',
+        state         TEXT NOT NULL DEFAULT 'idle'
+                      CHECK (state IN ('idle','matched','running','completed','removed','held')),
+        run_seconds   REAL NOT NULL,
+        image_size_mb INTEGER NOT NULL DEFAULT 16,
+        requirements  TEXT,
+        rank          TEXT,
+        depends_on    TEXT NOT NULL DEFAULT '',
+        submitted_at  REAL NOT NULL,
+        attempts      INTEGER NOT NULL DEFAULT 0
+    )
+    """,
+    "CREATE INDEX idx_jobs_state ON jobs(state, job_id)",
+    "CREATE INDEX idx_jobs_owner ON jobs(owner)",
+    "CREATE INDEX idx_jobs_workflow ON jobs(workflow_id)",
+    """
+    CREATE TABLE machines (
+        machine_name  TEXT PRIMARY KEY,
+        arch          TEXT NOT NULL DEFAULT 'INTEL',
+        opsys         TEXT NOT NULL DEFAULT 'LINUX',
+        cores         INTEGER NOT NULL DEFAULT 1,
+        memory_mb     REAL NOT NULL DEFAULT 512,
+        vm_count      INTEGER NOT NULL DEFAULT 1,
+        state         TEXT NOT NULL DEFAULT 'alive'
+                      CHECK (state IN ('alive','missing','offline')),
+        last_heartbeat REAL NOT NULL DEFAULT 0,
+        boot_count    INTEGER NOT NULL DEFAULT 0
+    )
+    """,
+    """
+    CREATE TABLE vms (
+        vm_id         TEXT PRIMARY KEY,
+        machine_name  TEXT NOT NULL REFERENCES machines(machine_name),
+        state         TEXT NOT NULL DEFAULT 'idle'
+                      CHECK (state IN ('idle','claiming','busy','offline')),
+        last_update   REAL NOT NULL DEFAULT 0
+    )
+    """,
+    "CREATE INDEX idx_vms_machine ON vms(machine_name)",
+    "CREATE INDEX idx_vms_state ON vms(state)",
+    """
+    CREATE TABLE matches (
+        match_id      INTEGER PRIMARY KEY AUTOINCREMENT,
+        job_id        INTEGER NOT NULL UNIQUE REFERENCES jobs(job_id),
+        vm_id         TEXT NOT NULL UNIQUE REFERENCES vms(vm_id),
+        created_at    REAL NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE runs (
+        run_id        INTEGER PRIMARY KEY AUTOINCREMENT,
+        job_id        INTEGER NOT NULL UNIQUE REFERENCES jobs(job_id),
+        vm_id         TEXT NOT NULL UNIQUE REFERENCES vms(vm_id),
+        started_at    REAL NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE job_history (
+        job_id        INTEGER PRIMARY KEY,
+        owner         TEXT NOT NULL,
+        workflow_id   INTEGER,
+        cmd           TEXT NOT NULL,
+        run_seconds   REAL NOT NULL,
+        submitted_at  REAL NOT NULL,
+        started_at    REAL,
+        completed_at  REAL,
+        final_state   TEXT NOT NULL,
+        vm_id         TEXT,
+        attempts      INTEGER NOT NULL DEFAULT 0
+    )
+    """,
+    "CREATE INDEX idx_job_history_owner ON job_history(owner)",
+    """
+    CREATE TABLE machine_boot_history (
+        boot_id       INTEGER PRIMARY KEY AUTOINCREMENT,
+        machine_name  TEXT NOT NULL,
+        booted_at     REAL NOT NULL,
+        arch          TEXT NOT NULL,
+        opsys         TEXT NOT NULL,
+        cores         INTEGER NOT NULL,
+        memory_mb     REAL NOT NULL
+    )
+    """,
+    "CREATE INDEX idx_boot_history_machine ON machine_boot_history(machine_name)",
+    """
+    CREATE TABLE machine_history (
+        sample_id     INTEGER PRIMARY KEY AUTOINCREMENT,
+        machine_name  TEXT NOT NULL,
+        sampled_at    REAL NOT NULL,
+        state         TEXT NOT NULL,
+        busy_vms      INTEGER NOT NULL DEFAULT 0
+    )
+    """,
+    """
+    CREATE TABLE config_policies (
+        policy_name   TEXT PRIMARY KEY,
+        policy_value  TEXT NOT NULL,
+        scope         TEXT NOT NULL DEFAULT 'pool',
+        updated_at    REAL NOT NULL,
+        updated_by    TEXT NOT NULL DEFAULT 'admin'
+    )
+    """,
+    """
+    CREATE TABLE config_history (
+        change_id     INTEGER PRIMARY KEY AUTOINCREMENT,
+        policy_name   TEXT NOT NULL,
+        old_value     TEXT,
+        new_value     TEXT NOT NULL,
+        changed_at    REAL NOT NULL,
+        changed_by    TEXT NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE accounting (
+        record_id     INTEGER PRIMARY KEY AUTOINCREMENT,
+        owner         TEXT NOT NULL,
+        job_id        INTEGER NOT NULL,
+        vm_id         TEXT,
+        wall_seconds  REAL NOT NULL,
+        recorded_at   REAL NOT NULL
+    )
+    """,
+    "CREATE INDEX idx_accounting_owner ON accounting(owner)",
+    """
+    CREATE TABLE datasets (
+        dataset_id    INTEGER PRIMARY KEY AUTOINCREMENT,
+        name          TEXT NOT NULL UNIQUE,
+        owner         TEXT NOT NULL,
+        size_mb       REAL NOT NULL DEFAULT 0,
+        k_safety      INTEGER NOT NULL DEFAULT 1,
+        created_at    REAL NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE dataset_replicas (
+        replica_id    INTEGER PRIMARY KEY AUTOINCREMENT,
+        dataset_id    INTEGER NOT NULL REFERENCES datasets(dataset_id),
+        machine_name  TEXT NOT NULL,
+        state         TEXT NOT NULL DEFAULT 'valid'
+                      CHECK (state IN ('valid','stale','transferring')),
+        created_at    REAL NOT NULL,
+        UNIQUE (dataset_id, machine_name)
+    )
+    """,
+    """
+    CREATE TABLE provenance (
+        prov_id       INTEGER PRIMARY KEY AUTOINCREMENT,
+        output_name   TEXT NOT NULL,
+        job_id        INTEGER NOT NULL,
+        executable    TEXT NOT NULL,
+        executable_version TEXT NOT NULL DEFAULT '',
+        input_names   TEXT NOT NULL DEFAULT '',
+        input_versions TEXT NOT NULL DEFAULT '',
+        recorded_at   REAL NOT NULL
+    )
+    """,
+    "CREATE INDEX idx_provenance_output ON provenance(output_name)",
+]
+
+#: Tables in the operational schema, in creation order.
+TABLES = [
+    "users", "workflows", "jobs", "machines", "vms", "matches", "runs",
+    "job_history", "machine_boot_history", "machine_history",
+    "config_policies", "config_history", "accounting",
+    "datasets", "dataset_replicas", "provenance",
+]
+
+#: Job states permitted by the CHECK constraint, mirroring JobState.
+JOB_STATES = ("idle", "matched", "running", "completed", "removed", "held")
+
+#: Valid job state transitions enforced by the JobBean.
+JOB_TRANSITIONS = {
+    "idle": {"matched", "removed", "held"},
+    "matched": {"running", "idle", "removed"},
+    "running": {"completed", "idle", "removed"},
+    "completed": set(),
+    "removed": set(),
+    "held": {"idle", "removed"},
+}

@@ -1,0 +1,237 @@
+"""The modified startd/starter pair: CondorJ2's pull-model execute client.
+
+"The daemons on the execute nodes are the Condor version 6.7.x startd and
+starter modified to communicate with the CAS using the gSOAP library"
+(section 5.2).  One startd runs per physical machine and manages all its
+VMs.  The protocol is Table 2's:
+
+* register on boot (machine + VM tuples created, boot history recorded);
+* heartbeat periodically — and immediately after job events — carrying VM
+  states and any completions/drops;
+* when the response says MATCHINFO, invoke acceptMatch per idle VM and
+  spawn a starter (the shared execution model) for each accepted job.
+
+"Execute nodes in CondorJ2 always initiate any interaction they have with
+the CAS" — there is no server-push path anywhere below.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional
+
+from repro.cluster.execution import ExecutionModel, ExecutionOutcome
+from repro.cluster.job import JobSpec
+from repro.cluster.machine import PhysicalNode, VirtualMachine, VmState
+from repro.condorj2.web.soap import (
+    SoapFault,
+    decode_response,
+    encode_request,
+    envelope_size,
+)
+from repro.sim.kernel import Delay, Signal, Simulator, Spawn, Wait
+from repro.sim.monitor import EventLog
+from repro.sim.network import Network, RpcResult
+
+
+@dataclass
+class StartdConfig:
+    """Client-side intervals for the pull protocol."""
+
+    #: Heartbeat period while any VM is idle (poll for matches).
+    idle_poll_seconds: float = 2.0
+    #: Heartbeat period while all VMs are busy (liveness + job info).
+    busy_heartbeat_seconds: float = 60.0
+    #: Send the full VM state table every N beats; in between only
+    #: changed VMs are reported (keeps 200-VM machines from flooding the
+    #: CAS with redundant updates).
+    full_state_every_beats: int = 5
+    #: Safety cap on consecutive RPC failures before the startd gives up.
+    max_consecutive_failures: int = 25
+
+
+class CondorJ2Startd:
+    """One startd endpoint per physical node."""
+
+    entity_kind = "startd"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node: PhysicalNode,
+        cas_address: str = "cas",
+        execution: Optional[ExecutionModel] = None,
+        config: Optional[StartdConfig] = None,
+        log: Optional[EventLog] = None,
+    ):
+        self.sim = sim
+        self.network = network
+        self.node = node
+        self.cas_address = cas_address
+        self.execution = execution or ExecutionModel()
+        self.config = config or StartdConfig()
+        self.log = log if log is not None else EventLog()
+        self.address = f"startd@{node.name}"
+        self._pending_events: List[Dict[str, Any]] = []
+        self._wake: Signal = Signal(f"{self.address}.wake")
+        self._jobs_by_id: Dict[int, JobSpec] = {}
+        self._last_reported: Dict[str, str] = {}
+        self._beats = 0
+        self.rpc_failures = 0
+        self.running = False
+        network.register(self)
+
+    # ------------------------------------------------------------------
+    # endpoint protocol (the startd never receives pushes in CondorJ2)
+    # ------------------------------------------------------------------
+    def on_message(self, message) -> None:
+        """Ignore stray one-way messages (there are none in the protocol)."""
+
+    def handle_request(self, message) -> Generator:
+        """The CAS never calls the startd; yield nothing, return a fault."""
+        return "unsupported"
+        yield  # pragma: no cover - makes this a generator
+
+    # ------------------------------------------------------------------
+    # operation
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Boot the startd: register with the CAS, then heartbeat forever."""
+        if self.running:
+            return
+        self.running = True
+        self.sim.spawn(self._main_loop(), name=self.address)
+
+    def _call(self, operation: str, payload: Any) -> Generator:
+        """Invoke a CAS web service; returns the decoded response payload.
+
+        Raises :class:`SoapFault` on remote faults and transport errors so
+        the caller can decide how to recover.
+        """
+        envelope = encode_request(operation, payload)
+        signal = self.network.request(
+            self, self.cas_address, operation, payload=envelope,
+            size_bytes=envelope_size(envelope),
+        )
+        _, result = yield Wait(signal)
+        assert isinstance(result, RpcResult)
+        if not result.ok:
+            raise SoapFault(f"transport failure: {result.error!r}")
+        return decode_response(result.value)
+
+    def _vm_states_payload(self) -> List[Dict[str, Any]]:
+        """Changed VM states since the last beat (full table every Nth)."""
+        self._beats += 1
+        full = (self._beats % max(1, self.config.full_state_every_beats)) == 1
+        payload: List[Dict[str, Any]] = []
+        for vm in self.node.vms:
+            state = vm.state.value
+            if full or self._last_reported.get(vm.vm_id) != state:
+                payload.append({"vm_id": vm.vm_id, "state": state})
+                self._last_reported[vm.vm_id] = state
+        return payload
+
+    def _heartbeat_payload(self) -> Dict[str, Any]:
+        events, self._pending_events = self._pending_events, []
+        return {
+            "machine": self.node.name,
+            "vms": self._vm_states_payload(),
+            "events": events,
+        }
+
+    def _main_loop(self) -> Generator:
+        try:
+            yield from self._call("registerMachine", self.node.describe())
+        except SoapFault:
+            self.rpc_failures += 1
+            self.running = False
+            return
+        failures = 0
+        while self.running:
+            payload = self._heartbeat_payload()
+            try:
+                response = yield from self._call("heartbeat", payload)
+                failures = 0
+            except SoapFault:
+                # Requeue the events we drained so the next beat resends
+                # them — the transactional no-lost-jobs guarantee depends
+                # on the client retrying until the server confirms.
+                self._pending_events = payload["events"] + self._pending_events
+                failures += 1
+                self.rpc_failures += 1
+                if failures >= self.config.max_consecutive_failures:
+                    self.running = False
+                    return
+                yield Delay(self.config.idle_poll_seconds)
+                continue
+
+            if response.get("status") == "MATCHINFO":
+                yield from self._accept_matches(response.get("matches", ()))
+
+            interval = (
+                self.config.idle_poll_seconds
+                if self.node.idle_vms()
+                else self.config.busy_heartbeat_seconds
+            )
+            self._wake = Signal(f"{self.address}.wake")
+            yield Wait(self._wake, timeout=interval)
+
+    def _accept_matches(self, matches) -> Generator:
+        """acceptMatch + starter spawn for each match on an idle VM."""
+        vms_by_id = {vm.vm_id: vm for vm in self.node.vms}
+        for match in matches:
+            vm = vms_by_id.get(match["vm_id"])
+            if vm is None or vm.state != VmState.IDLE:
+                continue
+            try:
+                response = yield from self._call(
+                    "acceptMatch",
+                    {"job_id": match["job_id"], "vm_id": match["vm_id"]},
+                )
+            except SoapFault:
+                self.rpc_failures += 1
+                continue
+            if response.get("status") != "OK":
+                continue
+            spec = JobSpec(
+                owner=match.get("owner", "user"),
+                cmd=match.get("cmd", "/bin/science"),
+                run_seconds=float(match["run_seconds"]),
+            )
+            # Keep the server-assigned id: the starter reports against it.
+            spec.job_id = match["job_id"]
+            self._jobs_by_id[spec.job_id] = spec
+            self.network.record_local(
+                "startd", "starter", "spawn", description="startd spawns starter"
+            )
+            yield Spawn(self._starter(vm, spec), f"starter:{spec.job_id}")
+
+    def _starter(self, vm: VirtualMachine, spec: JobSpec) -> Generator:
+        """The starter: run the job environment and report the outcome."""
+        outcome: ExecutionOutcome = yield from self.execution.run_job(
+            self.sim, vm, spec
+        )
+        self._jobs_by_id.pop(spec.job_id, None)
+        if outcome.ok:
+            self._pending_events.append(
+                {"kind": "completed", "job_id": spec.job_id, "vm_id": vm.vm_id}
+            )
+            self.log.record(self.sim.now, "starter_completed", job_id=spec.job_id)
+        else:
+            self._pending_events.append(
+                {
+                    "kind": "dropped",
+                    "job_id": spec.job_id,
+                    "vm_id": vm.vm_id,
+                    "reason": outcome.reason,
+                }
+            )
+            self.log.record(self.sim.now, "starter_dropped", job_id=spec.job_id)
+        # Wake the heartbeat loop so the event reaches the CAS immediately.
+        if not self._wake.fired:
+            self._wake.fire()
+
+    def stop(self) -> None:
+        """Administratively stop the heartbeat loop (machine shutdown)."""
+        self.running = False

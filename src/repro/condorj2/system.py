@@ -1,0 +1,198 @@
+"""A complete CondorJ2 pool wired together for experiments.
+
+:class:`CondorJ2System` assembles the paper's Figure 3: one server machine
+running the CAS + DBMS, a simulated cluster of execute nodes each running
+the modified startd, and user clients that talk to the CAS over the same
+web-service interface the startds use.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Sequence
+
+from repro.cluster.execution import ExecutionModel
+from repro.cluster.job import JobSpec
+from repro.cluster.machine import PhysicalNode
+from repro.cluster.topology import ClusterSpec, build_cluster
+from repro.condorj2.cas import CondorJ2ApplicationServer
+from repro.condorj2.costs import CasCostModel
+from repro.condorj2.startd import CondorJ2Startd, StartdConfig
+from repro.condorj2.web.soap import (
+    SoapFault,
+    decode_response,
+    encode_request,
+    envelope_size,
+)
+from repro.sim.cpu import quad_xeon
+from repro.sim.kernel import Simulator, Wait
+from repro.sim.monitor import EventLog
+from repro.sim.network import LatencyModel, MessageTrace, Network, RpcResult
+
+
+class UserClient:
+    """A user/administrator issuing web-service calls to the CAS."""
+
+    entity_kind = "user"
+
+    def __init__(self, sim: Simulator, network: Network, name: str = "user",
+                 cas_address: str = "cas"):
+        self.sim = sim
+        self.network = network
+        self.address = name
+        self.cas_address = cas_address
+        network.register(self)
+
+    def on_message(self, message) -> None:
+        """Users receive no pushes."""
+
+    def handle_request(self, message) -> Generator:
+        """Users serve no requests."""
+        return None
+        yield  # pragma: no cover
+
+    def call(self, operation: str, payload: Any) -> Generator:
+        """Coroutine: invoke a CAS operation and return its payload."""
+        envelope = encode_request(operation, payload)
+        signal = self.network.request(
+            self, self.cas_address, operation, payload=envelope,
+            size_bytes=envelope_size(envelope),
+        )
+        _, result = yield Wait(signal)
+        assert isinstance(result, RpcResult)
+        if not result.ok:
+            raise SoapFault(f"transport failure: {result.error!r}")
+        return decode_response(result.value)
+
+    def submit_specs(self, specs: Sequence[JobSpec]) -> Generator:
+        """Coroutine: submit a batch of jobs through the web service."""
+        payload = {
+            "jobs": [
+                {
+                    "job_id": spec.job_id,
+                    "owner": spec.owner,
+                    "cmd": spec.cmd,
+                    "run_seconds": spec.run_seconds,
+                    "image_size_mb": spec.image_size_mb,
+                    "requirements": spec.requirements,
+                    "rank": spec.rank,
+                    "depends_on": list(spec.depends_on),
+                }
+                for spec in specs
+            ]
+        }
+        return (yield from self.call("submitJobs", payload))
+
+
+class CondorJ2System:
+    """The full pool: server, network, cluster, startds, user client."""
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        seed: int = 0,
+        execution: Optional[ExecutionModel] = None,
+        costs: Optional[CasCostModel] = None,
+        startd_config: Optional[StartdConfig] = None,
+        record_trace: bool = False,
+    ):
+        self.sim = Simulator(seed=seed)
+        self.trace = MessageTrace() if record_trace else None
+        self.network = Network(
+            self.sim, latency=LatencyModel(base_seconds=0.002), trace=self.trace
+        )
+        self.log = EventLog()
+        self.server_host = quad_xeon(self.sim, "cas-server")
+        self.cas = CondorJ2ApplicationServer(
+            self.sim, self.server_host, self.network, costs=costs, log=self.log
+        )
+        self.nodes: List[PhysicalNode] = build_cluster(self.sim, cluster)
+        execution = execution or ExecutionModel()
+        startd_config = startd_config or StartdConfig()
+        self.startds = [
+            CondorJ2Startd(
+                self.sim, self.network, node,
+                execution=execution, config=startd_config, log=self.log,
+            )
+            for node in self.nodes
+        ]
+        self.user = UserClient(self.sim, self.network)
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Boot the CAS and every startd."""
+        if self._started:
+            return
+        self._started = True
+        self.cas.start()
+        for startd in self.startds:
+            startd.start()
+
+    def submit_at(self, time: float, specs: Sequence[JobSpec]) -> None:
+        """Schedule a user submission of ``specs`` at simulated ``time``."""
+        def do_submit() -> None:
+            for spec in specs:
+                self.log.record(self.sim.now, "job_submitted", job_id=spec.job_id)
+            self.sim.spawn(self.user.submit_specs(specs), name="user.submit")
+
+        self.sim.schedule_at(time, do_submit)
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+    def completed_count(self) -> int:
+        """Jobs whose post-execution processing finished."""
+        return self.cas.db.table_count("job_history")
+
+    def run_until_complete(
+        self,
+        expected_jobs: int,
+        max_seconds: float = 36000.0,
+        check_interval: float = 30.0,
+    ) -> float:
+        """Run until ``expected_jobs`` reach history (or the time cap).
+
+        Returns the simulated completion time of the workload.
+        """
+        self.start()
+        while self.sim.now < max_seconds:
+            horizon = min(self.sim.now + check_interval, max_seconds)
+            self.sim.run(until=horizon)
+            if self.completed_count() >= expected_jobs:
+                break
+        times = self.log.times("job_completed")
+        return times[-1] if times else self.sim.now
+
+    def run_for(self, seconds: float) -> None:
+        """Run the pool for a fixed window of simulated time."""
+        self.start()
+        self.sim.run(until=self.sim.now + seconds)
+
+    # ------------------------------------------------------------------
+    # measurements
+    # ------------------------------------------------------------------
+    def completion_times(self) -> List[float]:
+        """Timestamps of every completed job (post-processing done)."""
+        return self.log.times("job_completed")
+
+    def start_times(self) -> List[float]:
+        """Timestamps of every acceptMatch (job start)."""
+        return self.log.times("job_started")
+
+    def drop_stats(self) -> Dict[str, int]:
+        """Distinct VMs / physical nodes that dropped jobs (Figure 8)."""
+        vms = sum(1 for node in self.nodes for vm in node.vms if vm.jobs_dropped > 0)
+        nodes = sum(1 for node in self.nodes if node.dropped_any())
+        return {
+            "vms_dropping": vms,
+            "nodes_dropping": nodes,
+            "total_vms": sum(node.vm_count for node in self.nodes),
+            "total_nodes": len(self.nodes),
+            "drop_events": self.log.count("job_dropped"),
+        }
+
+    def server_utilization(self, until: Optional[float] = None):
+        """Per-minute CPU samples of the CAS box (Figures 9 and 10)."""
+        return self.cas.utilization(until=until)

@@ -1,0 +1,23 @@
+"""External interfaces: SOAP web services and the pool web site."""
+
+from repro.condorj2.web.services import WebServiceRegistry
+from repro.condorj2.web.site import PoolWebSite
+from repro.condorj2.web.soap import (
+    SoapFault,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+    envelope_size,
+)
+
+__all__ = [
+    "PoolWebSite",
+    "SoapFault",
+    "WebServiceRegistry",
+    "decode_request",
+    "decode_response",
+    "encode_request",
+    "encode_response",
+    "envelope_size",
+]

@@ -1,0 +1,172 @@
+"""The web-service interface: operation registry and dispatch.
+
+"For daemons running on execute machines, the CAS exposes a set of web
+services specifically tailored to the interactions the daemons need to
+have with the operational data store" (section 4.1).  The same registry
+also exposes the client-facing services (submission, queries), because
+"both external interfaces are built on top of the same set of underlying
+system services".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.cluster.job import JobSpec
+from repro.condorj2.logic import (
+    ConfigService,
+    HeartbeatService,
+    LifecycleService,
+    ReportService,
+    SchedulingService,
+    SubmissionService,
+)
+from repro.condorj2.web.soap import SoapFault
+
+
+class WebServiceRegistry:
+    """Maps operation names to handlers in the application-logic layer.
+
+    Every handler takes ``(payload, now)`` and returns a JSON-like
+    response payload.  Unknown operations raise :class:`SoapFault`, which
+    the CAS turns into a fault envelope.
+    """
+
+    def __init__(
+        self,
+        submission: SubmissionService,
+        scheduling: SchedulingService,
+        heartbeat: HeartbeatService,
+        lifecycle: LifecycleService,
+        reports: ReportService,
+        config: ConfigService,
+    ):
+        self.submission = submission
+        self.scheduling = scheduling
+        self.heartbeat = heartbeat
+        self.lifecycle = lifecycle
+        self.reports = reports
+        self.config = config
+        self.calls: Dict[str, int] = {}
+        self._operations: Dict[str, Callable[[Any, float], Any]] = {
+            # startd-facing services
+            "registerMachine": self._op_register_machine,
+            "heartbeat": self._op_heartbeat,
+            "acceptMatch": self._op_accept_match,
+            "beginExecute": self._op_begin_execute,
+            "reportDrop": self._op_report_drop,
+            # client-facing services
+            "submitJob": self._op_submit_job,
+            "submitJobs": self._op_submit_jobs,
+            "removeJob": self._op_remove_job,
+            "queueSummary": self._op_queue_summary,
+            "poolStatus": self._op_pool_status,
+            "userSummary": self._op_user_summary,
+            "jobDetail": self._op_job_detail,
+            "setPolicy": self._op_set_policy,
+            "getPolicy": self._op_get_policy,
+        }
+
+    def operations(self) -> List[str]:
+        """Names of all exposed operations (the service WSDL, in spirit)."""
+        return sorted(self._operations)
+
+    def dispatch(self, operation: str, payload: Any, now: float) -> Any:
+        """Route one decoded request to its handler."""
+        handler = self._operations.get(operation)
+        if handler is None:
+            raise SoapFault(f"unknown operation {operation!r}")
+        self.calls[operation] = self.calls.get(operation, 0) + 1
+        return handler(payload, now)
+
+    # ------------------------------------------------------------------
+    # startd-facing handlers
+    # ------------------------------------------------------------------
+    def _op_register_machine(self, payload: Any, now: float) -> Any:
+        self.heartbeat.register_machine(payload, now)
+        return {"status": "OK"}
+
+    def _op_heartbeat(self, payload: Any, now: float) -> Any:
+        return self.heartbeat.process(payload, now)
+
+    def _op_accept_match(self, payload: Any, now: float) -> Any:
+        return self.lifecycle.accept_match(payload["job_id"], payload["vm_id"], now)
+
+    def _op_begin_execute(self, payload: Any, now: float) -> Any:
+        # The startd signals the starter has launched the payload.
+        self.heartbeat.process(
+            {
+                "machine": payload["machine"],
+                "vms": [],
+                "events": [
+                    {
+                        "kind": "started",
+                        "job_id": payload["job_id"],
+                        "vm_id": payload["vm_id"],
+                    }
+                ],
+            },
+            now,
+        )
+        return {"status": "OK"}
+
+    def _op_report_drop(self, payload: Any, now: float) -> Any:
+        self.lifecycle.report_drop(
+            payload["job_id"], payload["vm_id"], now, reason=payload.get("reason", "")
+        )
+        return {"status": "OK"}
+
+    # ------------------------------------------------------------------
+    # client-facing handlers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _spec_from_payload(data: Dict[str, Any]) -> JobSpec:
+        spec = JobSpec(
+            owner=data.get("owner", "user"),
+            cmd=data.get("cmd", "/bin/science"),
+            run_seconds=float(data.get("run_seconds", 60.0)),
+            image_size_mb=int(data.get("image_size_mb", 16)),
+            requirements=data.get("requirements"),
+            rank=data.get("rank"),
+            depends_on=tuple(data.get("depends_on", ())),
+        )
+        # Preserve the client-assigned id when present: dependency edges
+        # reference submitted ids, so the server must keep them stable.
+        if data.get("job_id") is not None:
+            spec.job_id = int(data["job_id"])
+        return spec
+
+    def _op_submit_job(self, payload: Any, now: float) -> Any:
+        job_id = self.submission.submit_job(self._spec_from_payload(payload), now)
+        return {"status": "OK", "job_id": job_id}
+
+    def _op_submit_jobs(self, payload: Any, now: float) -> Any:
+        specs = [self._spec_from_payload(data) for data in payload["jobs"]]
+        ids = self.submission.submit_jobs(specs, now)
+        return {"status": "OK", "job_ids": ids}
+
+    def _op_remove_job(self, payload: Any, now: float) -> Any:
+        self.submission.remove_job(payload["job_id"])
+        return {"status": "OK"}
+
+    def _op_queue_summary(self, payload: Any, now: float) -> Any:
+        return self.reports.queue_summary()
+
+    def _op_pool_status(self, payload: Any, now: float) -> Any:
+        return self.reports.pool_status()
+
+    def _op_user_summary(self, payload: Any, now: float) -> Any:
+        return self.reports.user_summary(payload["owner"])
+
+    def _op_job_detail(self, payload: Any, now: float) -> Any:
+        return self.reports.job_detail(payload["job_id"])
+
+    def _op_set_policy(self, payload: Any, now: float) -> Any:
+        self.config.set(
+            payload["name"], payload["value"], now,
+            changed_by=payload.get("changed_by", "admin"),
+        )
+        return {"status": "OK"}
+
+    def _op_get_policy(self, payload: Any, now: float) -> Any:
+        return {"name": payload["name"], "value": self.config.get(payload["name"])}

@@ -1,0 +1,73 @@
+"""The pool web site: the human-facing interface.
+
+"Users and administrators submit jobs, access standard reports, pose
+queries and configure system behavior from anywhere that they have access
+to the web" (section 4.1).  The site renders the same logic-layer services
+the SOAP interface exposes — "the only difference being the presentation
+to the client" — as monospace report pages.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.condorj2.logic import ConfigService, ReportService
+from repro.metrics.report import ascii_table
+
+
+class PoolWebSite:
+    """Renders standard report pages from the report/config services."""
+
+    def __init__(self, reports: ReportService, config: ConfigService):
+        self.reports = reports
+        self.config = config
+        self.page_views: Dict[str, int] = {}
+
+    def _count(self, page: str) -> None:
+        self.page_views[page] = self.page_views.get(page, 0) + 1
+
+    def queue_page(self) -> str:
+        """The job-queue overview (condor_q for the browser)."""
+        self._count("queue")
+        summary = self.reports.queue_summary()
+        rows = [[state, count] for state, count in sorted(summary.items())]
+        return ascii_table(["state", "jobs"], rows, title="Job Queue")
+
+    def pool_page(self) -> str:
+        """Machine/VM status overview (condor_status for the browser)."""
+        self._count("pool")
+        status = self.reports.pool_status()
+        rows = [[key, value] for key, value in sorted(status.items())]
+        return ascii_table(["metric", "value"], rows, title="Pool Status")
+
+    def user_page(self, owner: str) -> str:
+        """Per-user job and usage statistics."""
+        self._count("user")
+        summary = self.reports.user_summary(owner)
+        rows = [[key, value] for key, value in sorted(summary.items())]
+        return ascii_table(["metric", "value"], rows, title=f"User {owner}")
+
+    def job_page(self, job_id: int) -> str:
+        """Everything known about one job, live or from history."""
+        self._count("job")
+        detail = self.reports.job_detail(job_id)
+        if detail is None:
+            return f"Job {job_id}\n(no such job)"
+        rows = [[key, value] for key, value in sorted(detail.items())]
+        return ascii_table(["field", "value"], rows, title=f"Job {job_id}")
+
+    def accounting_page(self) -> str:
+        """Charged usage per user."""
+        self._count("accounting")
+        rows = self.reports.accounting_by_user()
+        return ascii_table(
+            ["owner", "jobs", "wall_seconds"],
+            [[r["owner"], r["jobs"], round(r["wall_seconds"], 1)] for r in rows],
+            title="Accounting",
+        )
+
+    def config_page(self, names: List[str]) -> str:
+        """Current values for the given policies."""
+        self._count("config")
+        rows = [[name, self.config.get(name, "(unset)")] for name in names]
+        return ascii_table(["policy", "value"], rows, title="Configuration")

@@ -1,0 +1,195 @@
+"""A minimal SOAP envelope codec.
+
+The paper's execute nodes talk to the CAS with gSOAP over HTTP.  The
+reproduction serialises request/response payloads into an XML-ish envelope
+for two reasons: the *size* of the message drives simulated transport
+latency and the per-byte parse cost in the CAS cost model, and the codec
+gives the protocol a concrete, testable wire format.
+
+Payloads are restricted to JSON-like data (dicts, lists, strings, numbers,
+booleans, None) — exactly what the web services exchange.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple, Union
+from xml.sax.saxutils import escape, unescape
+
+Payload = Union[None, bool, int, float, str, List[Any], Dict[str, Any]]
+
+
+class SoapFault(Exception):
+    """Raised when an envelope cannot be decoded or a call fails remotely."""
+
+
+def _encode_value(value: Payload, tag: str) -> str:
+    if value is None:
+        return f'<{tag} xsi:nil="true"/>'
+    if isinstance(value, bool):
+        return f'<{tag} type="boolean">{"true" if value else "false"}</{tag}>'
+    if isinstance(value, int):
+        return f'<{tag} type="int">{value}</{tag}>'
+    if isinstance(value, float):
+        return f'<{tag} type="double">{value!r}</{tag}>'
+    if isinstance(value, str):
+        return f'<{tag} type="string">{escape(value)}</{tag}>'
+    if isinstance(value, list):
+        inner = "".join(_encode_value(item, "item") for item in value)
+        return f'<{tag} type="array">{inner}</{tag}>'
+    if isinstance(value, dict):
+        inner = "".join(
+            f'<entry key="{escape(str(key))}">{_encode_value(item, "value")}</entry>'
+            for key, item in value.items()
+        )
+        return f'<{tag} type="struct">{inner}</{tag}>'
+    raise SoapFault(f"unserialisable value of type {type(value).__name__}")
+
+
+def encode_request(operation: str, payload: Payload) -> str:
+    """Build a request envelope for ``operation``."""
+    body = _encode_value(payload, "payload")
+    return (
+        '<soap:Envelope xmlns:soap="http://schemas.xmlsoap.org/soap/envelope/">'
+        f'<soap:Body><op name="{escape(operation)}">{body}</op></soap:Body>'
+        "</soap:Envelope>"
+    )
+
+
+def encode_response(operation: str, payload: Payload, fault: str = "") -> str:
+    """Build a response envelope, optionally carrying a fault."""
+    if fault:
+        return (
+            '<soap:Envelope xmlns:soap="http://schemas.xmlsoap.org/soap/envelope/">'
+            f"<soap:Body><soap:Fault><faultstring>{escape(fault)}</faultstring>"
+            "</soap:Fault></soap:Body></soap:Envelope>"
+        )
+    body = _encode_value(payload, "payload")
+    return (
+        '<soap:Envelope xmlns:soap="http://schemas.xmlsoap.org/soap/envelope/">'
+        f'<soap:Body><opResponse name="{escape(operation)}">{body}</opResponse>'
+        "</soap:Body></soap:Envelope>"
+    )
+
+
+# ----------------------------------------------------------------------
+# decoding: a tiny recursive-descent scan over the envelope text
+# ----------------------------------------------------------------------
+def _find_tag(text: str, tag: str, start: int = 0) -> Tuple[int, int, Dict[str, str]]:
+    """Locate ``<tag ...>``; returns (content_start, content_end, attrs)."""
+    open_at = text.find(f"<{tag}", start)
+    if open_at < 0:
+        raise SoapFault(f"missing <{tag}> element")
+    head_end = text.find(">", open_at)
+    if head_end < 0:
+        raise SoapFault("malformed envelope")
+    head = text[open_at + 1 + len(tag):head_end]
+    attrs: Dict[str, str] = {}
+    for chunk in head.split():
+        if "=" in chunk:
+            key, _, raw = chunk.partition("=")
+            attrs[key.strip()] = raw.strip().strip('"/')
+    if text[head_end - 1] == "/":  # self-closing
+        return head_end + 1, head_end + 1, attrs
+    close = _matching_close(text, tag, head_end + 1)
+    return head_end + 1, close, attrs
+
+
+def _matching_close(text: str, tag: str, start: int) -> int:
+    """Index of the matching ``</tag>`` handling nested same-name tags."""
+    depth = 1
+    cursor = start
+    while depth > 0:
+        next_open = text.find(f"<{tag}", cursor)
+        next_close = text.find(f"</{tag}>", cursor)
+        if next_close < 0:
+            raise SoapFault(f"unbalanced <{tag}>")
+        if 0 <= next_open < next_close:
+            head_end = text.find(">", next_open)
+            if text[head_end - 1] != "/":
+                depth += 1
+            cursor = head_end + 1
+        else:
+            depth -= 1
+            if depth == 0:
+                return next_close
+            cursor = next_close + len(tag) + 3
+    raise SoapFault(f"unbalanced <{tag}>")  # pragma: no cover
+
+
+def _decode_value(text: str) -> Payload:
+    head_end = text.find(">")
+    head = text[1:head_end]
+    if 'xsi:nil="true"' in head:
+        return None
+    if 'type="boolean"' in head:
+        return text[head_end + 1:text.rfind("<")] == "true"
+    if 'type="int"' in head:
+        return int(text[head_end + 1:text.rfind("<")])
+    if 'type="double"' in head:
+        return float(text[head_end + 1:text.rfind("<")])
+    if 'type="string"' in head:
+        return unescape(text[head_end + 1:text.rfind("<")])
+    if 'type="array"' in head:
+        inner = text[head_end + 1:text.rfind("<")]
+        return [_decode_value(chunk) for chunk in _split_elements(inner, "item")]
+    if 'type="struct"' in head:
+        inner = text[head_end + 1:text.rfind("<")]
+        result: Dict[str, Payload] = {}
+        for entry in _split_elements(inner, "entry"):
+            key_start = entry.find('key="') + 5
+            key = unescape(entry[key_start:entry.find('"', key_start)])
+            value_start, value_end, _ = _find_tag(entry, "value")
+            open_at = entry.rfind("<value", 0, value_start)
+            result[key] = _decode_value(entry[open_at:value_end + len("</value>")])
+        return result
+    raise SoapFault(f"undecodable element head {head!r}")
+
+
+def _split_elements(text: str, tag: str) -> List[str]:
+    """Split concatenated sibling elements named ``tag``."""
+    chunks: List[str] = []
+    cursor = 0
+    while True:
+        open_at = text.find(f"<{tag}", cursor)
+        if open_at < 0:
+            return chunks
+        head_end = text.find(">", open_at)
+        if text[head_end - 1] == "/":
+            chunks.append(text[open_at:head_end + 1])
+            cursor = head_end + 1
+            continue
+        close = _matching_close(text, tag, head_end + 1)
+        end = close + len(tag) + 3
+        chunks.append(text[open_at:end])
+        cursor = end
+
+
+def decode_request(envelope: str) -> Tuple[str, Payload]:
+    """Extract (operation, payload) from a request envelope."""
+    _, _, _ = _find_tag(envelope, "soap:Body")
+    start, end, attrs = _find_tag(envelope, "op")
+    operation = unescape(attrs.get("name", ""))
+    if not operation:
+        raise SoapFault("request missing operation name")
+    inner = envelope[start:end]
+    payload_start = inner.find("<payload")
+    payload = _decode_value(inner[payload_start:]) if payload_start >= 0 else None
+    return operation, payload
+
+
+def decode_response(envelope: str) -> Payload:
+    """Extract the payload from a response envelope, raising on faults."""
+    if "<soap:Fault>" in envelope:
+        start, end, _ = _find_tag(envelope, "faultstring")
+        raise SoapFault(unescape(envelope[start:end]))
+    start, end, _ = _find_tag(envelope, "opResponse")
+    inner = envelope[start:end]
+    payload_start = inner.find("<payload")
+    if payload_start < 0:
+        return None
+    return _decode_value(inner[payload_start:])
+
+
+def envelope_size(envelope: str) -> int:
+    """Wire size in bytes (drives latency and parse-cost models)."""
+    return len(envelope.encode("utf-8"))

@@ -1,0 +1,42 @@
+"""Experiment reproductions: one module per table/figure in the paper.
+
+Every module exposes ``run(...) -> ExperimentResult``; the result carries
+the measured series/rows and the paper-shape checks that tests assert on
+and benchmarks print.  See DESIGN.md section 4 for the index.
+"""
+
+from repro.experiments import (
+    codebase,
+    dataflow,
+    fig07_throughput,
+    fig08_drops,
+    fig09_cpu_vs_rate,
+    fig10_large_cluster,
+    fig11_mixed_inprogress,
+    fig12_mixed_turnover,
+    fig13_condor_rate_vs_qlen,
+    fig14_condor_cpu_vs_qlen,
+    fig15_condor_mixed_nolimit,
+    fig16_condor_mixed_limited,
+    sec532_condor_large,
+)
+
+#: Experiment id -> runner, in paper order.
+ALL_EXPERIMENTS = {
+    "tab01": dataflow.run_tab01,
+    "tab02": dataflow.run_tab02,
+    "sec4231": codebase.run,
+    "fig07": fig07_throughput.run,
+    "fig08": fig08_drops.run,
+    "fig09": fig09_cpu_vs_rate.run,
+    "fig10": fig10_large_cluster.run,
+    "fig11": fig11_mixed_inprogress.run,
+    "fig12": fig12_mixed_turnover.run,
+    "fig13": fig13_condor_rate_vs_qlen.run,
+    "fig14": fig14_condor_cpu_vs_qlen.run,
+    "fig15": fig15_condor_mixed_nolimit.run,
+    "fig16": fig16_condor_mixed_limited.run,
+    "sec532": sec532_condor_large.run,
+}
+
+__all__ = ["ALL_EXPERIMENTS"]

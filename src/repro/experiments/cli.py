@@ -1,0 +1,67 @@
+"""Command-line runner: ``condorj2-bench [experiment-id ...]``.
+
+Runs the requested experiments (all of them by default) and prints each
+result's summary — the same rows and checks the paper's tables and
+figures report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="condorj2-bench",
+        description="Reproduce the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="ID",
+        help=f"experiment ids (default: all). Known: {', '.join(ALL_EXPERIMENTS)}",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment ids and exit"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=42, help="simulation seed (default 42)"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for experiment_id in ALL_EXPERIMENTS:
+            print(experiment_id)
+        return 0
+
+    requested = args.experiments or list(ALL_EXPERIMENTS)
+    unknown = [e for e in requested if e not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment ids: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    failures = 0
+    for experiment_id in requested:
+        runner = ALL_EXPERIMENTS[experiment_id]
+        try:
+            result = runner(seed=args.seed)
+        except TypeError:
+            result = runner()  # codebase.run takes no seed
+        print(result.summary())
+        print()
+        if not result.all_checks_pass():
+            failures += 1
+    if failures:
+        print(f"{failures} experiment(s) with failing shape checks",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

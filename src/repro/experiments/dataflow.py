@@ -1,0 +1,171 @@
+"""Tables 1 and 2 / Figures 5 and 6: the dataflow comparison.
+
+Section 4.2 shepherds one job through each system and tallies the
+communication structure:
+
+* Condor: "ten different communication channels between seven distinct
+  entities (six daemon processes and the user)";
+* CondorJ2: "only four communication channels between five entities",
+  with the application server as the focal point of the whole flow.
+
+We run one job through each (fully instrumented) system with message
+tracing on, and count exactly what the paper counts: distinct undirected
+entity-type pairs that exchanged data (including local daemon spawns) and
+distinct entity types.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Tuple
+
+from repro.cluster import ClusterSpec, RELIABLE_EXECUTION
+from repro.condor import CondorPool
+from repro.condorj2 import CondorJ2System
+from repro.metrics import ExperimentResult
+from repro.workload import fixed_length_batch
+
+#: Channels Table 1 implies (undirected, entity types).
+CONDOR_EXPECTED_CHANNELS = frozenset(
+    frozenset(pair)
+    for pair in [
+        ("user", "schedd"),
+        ("schedd", "collector"),
+        ("startd", "collector"),
+        ("collector", "negotiator"),
+        ("negotiator", "schedd"),
+        ("negotiator", "startd"),
+        ("schedd", "startd"),
+        ("schedd", "shadow"),
+        ("startd", "starter"),
+        ("shadow", "starter"),
+    ]
+)
+
+#: Channels Table 2 implies.
+CONDORJ2_EXPECTED_CHANNELS = frozenset(
+    frozenset(pair)
+    for pair in [
+        ("user", "cas"),
+        ("cas", "database"),
+        ("startd", "cas"),
+        ("startd", "starter"),
+    ]
+)
+
+_SINGLE_NODE = ClusterSpec(
+    physical_nodes=1, vms_per_node=1, dual_core_fraction=0.0, speed_jitter=0.0
+)
+
+
+def _channel_names(channels: FrozenSet[FrozenSet[str]]) -> List[str]:
+    return sorted("-".join(sorted(pair)) for pair in channels)
+
+
+def run_condor_trace(seed: int = 7):
+    """One job through Condor with tracing; returns (trace, pool)."""
+    pool = CondorPool(_SINGLE_NODE, seed=seed, record_trace=True,
+                      execution=RELIABLE_EXECUTION)
+    pool.submit_at(0.0, fixed_length_batch(1, 30.0))
+    pool.run_until_complete(expected_jobs=1, max_seconds=600.0)
+    return pool.trace, pool
+
+
+def run_condorj2_trace(seed: int = 7):
+    """One job through CondorJ2 with tracing; returns (trace, system)."""
+    system = CondorJ2System(_SINGLE_NODE, seed=seed, record_trace=True,
+                            execution=RELIABLE_EXECUTION)
+    system.submit_at(0.0, fixed_length_batch(1, 30.0))
+    system.run_until_complete(expected_jobs=1, max_seconds=600.0)
+    return system.trace, system
+
+
+def run_tab01(seed: int = 7) -> ExperimentResult:
+    """Table 1: the Condor dataflow."""
+    trace, pool = run_condor_trace(seed)
+    channels = trace.channels()
+    entities = trace.entities()
+    result = ExperimentResult(
+        "tab01",
+        "Condor dataflow: one job from submission to completion",
+        params={"jobs": 1, "cluster_vms": 1, "seed": seed},
+    )
+    result.rows.append({"metric": "entities", "value": len(entities)})
+    result.rows.append({"metric": "channels", "value": len(channels)})
+    result.rows.append({"metric": "channel_list",
+                        "value": ", ".join(_channel_names(channels))})
+    result.add_check(
+        "seven distinct entities",
+        "six daemon processes and the user",
+        f"{len(entities)}: {', '.join(sorted(entities))}",
+        len(entities) == 7,
+    )
+    result.add_check(
+        "ten communication channels",
+        "ten channels between the entities",
+        str(len(channels)),
+        len(channels) == 10,
+    )
+    result.add_check(
+        "channel set matches Table 1",
+        ", ".join(_channel_names(CONDOR_EXPECTED_CHANNELS)),
+        ", ".join(_channel_names(channels)),
+        channels == CONDOR_EXPECTED_CHANNELS,
+    )
+    result.add_check(
+        "job completed",
+        "job shepherded to completion",
+        str(pool.completed_count()),
+        pool.completed_count() == 1,
+    )
+    return result
+
+
+def run_tab02(seed: int = 7) -> ExperimentResult:
+    """Table 2: the CondorJ2 dataflow."""
+    trace, system = run_condorj2_trace(seed)
+    channels = trace.channels()
+    entities = trace.entities()
+    result = ExperimentResult(
+        "tab02",
+        "CondorJ2 dataflow: one job from submission to completion",
+        params={"jobs": 1, "cluster_vms": 1, "seed": seed},
+    )
+    result.rows.append({"metric": "entities", "value": len(entities)})
+    result.rows.append({"metric": "channels", "value": len(channels)})
+    result.rows.append({"metric": "channel_list",
+                        "value": ", ".join(_channel_names(channels))})
+    result.add_check(
+        "five distinct entities",
+        "user, CAS, database, startd, starter",
+        f"{len(entities)}: {', '.join(sorted(entities))}",
+        len(entities) == 5,
+    )
+    result.add_check(
+        "four communication channels",
+        "four channels between five entities",
+        str(len(channels)),
+        len(channels) == 4,
+    )
+    result.add_check(
+        "channel set matches Table 2",
+        ", ".join(_channel_names(CONDORJ2_EXPECTED_CHANNELS)),
+        ", ".join(_channel_names(channels)),
+        channels == CONDORJ2_EXPECTED_CHANNELS,
+    )
+    result.add_check(
+        "the CAS is the focal point",
+        "every wire message has the CAS as an endpoint",
+        "checked over all non-local records",
+        all(
+            "cas" in (record.src_kind, record.dst_kind)
+            for record in trace.records
+            if not record.local
+        ),
+    )
+    result.add_check(
+        "job completed",
+        "job shepherded to completion",
+        str(system.completed_count()),
+        system.completed_count() == 1,
+    )
+    return result

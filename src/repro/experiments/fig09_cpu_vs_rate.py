@@ -1,0 +1,92 @@
+"""Figure 9: CAS CPU utilisation vs. scheduling throughput.
+
+The paper correlates per-minute /proc CPU samples from the CAS box with
+the average scheduling rate of each throughput run.  Findings:
+
+* all cycle categories grow approximately linearly with throughput;
+* user cycles grow much faster than IO or system cycles;
+* even at the highest observed rate the CAS has significant idle
+  capacity — the evidence that execute-node errors, not the server,
+  limit the short-job runs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.experiments.common import (
+    PAPER_JOB_LENGTHS,
+    SUSTAIN_SECONDS,
+    run_throughput_sweep,
+)
+from repro.metrics import ExperimentResult
+from repro.sim.cpu import TAG_IO, TAG_SYSTEM, TAG_USER
+
+
+def _steady_fractions(point) -> Tuple[float, float, float, float]:
+    """Mean user/system/io/idle fractions over the steady-state minutes."""
+    samples = point.cpu_samples
+    # Skip the first two minutes (startup costs) and the last (ramp-down).
+    usable = samples[2:-1] if len(samples) > 4 else samples
+    if not usable:
+        return (0.0, 0.0, 0.0, 1.0)
+    user = sum(s.fraction(TAG_USER) for s in usable) / len(usable)
+    system = sum(s.fraction(TAG_SYSTEM) for s in usable) / len(usable)
+    io = sum(s.fraction(TAG_IO) for s in usable) / len(usable)
+    return (user, system, io, max(0.0, 1.0 - user - system - io))
+
+
+def run(
+    job_lengths: Tuple[float, ...] = PAPER_JOB_LENGTHS,
+    seed: int = 42,
+    sustain_seconds: float = SUSTAIN_SECONDS,
+) -> ExperimentResult:
+    """Run (or reuse) the sweep and evaluate Figure 9's shape claims."""
+    points = run_throughput_sweep(job_lengths, seed, sustain_seconds)
+    result = ExperimentResult(
+        "fig09",
+        "CAS CPU utilisation vs scheduling throughput",
+        params={"window_s": sustain_seconds, "seed": seed},
+    )
+    rows: List[Tuple[float, float, float, float, float]] = []
+    for point in sorted(points, key=lambda p: p.observed_rate):
+        user, system, io, idle = _steady_fractions(point)
+        rows.append((point.observed_rate, user, system, io, idle))
+        result.rows.append(
+            {
+                "jobs_per_s": round(point.observed_rate, 2),
+                "user_pct": round(user * 100, 2),
+                "system_pct": round(system * 100, 2),
+                "io_pct": round(io * 100, 2),
+                "idle_pct": round(idle * 100, 2),
+            }
+        )
+    result.series["user"] = [(r[0], r[1] * 100) for r in rows]
+    result.series["system"] = [(r[0], r[2] * 100) for r in rows]
+    result.series["io"] = [(r[0], r[3] * 100) for r in rows]
+    result.series["idle"] = [(r[0], r[4] * 100) for r in rows]
+
+    if len(rows) >= 3:
+        # Approximate linearity: user% monotone in rate and the growth
+        # between consecutive points never reverses sign dramatically.
+        user_values = [r[1] for r in rows]
+        result.add_check(
+            "user cycles grow with throughput",
+            "monotone, ~linear growth",
+            " -> ".join(f"{v:.1%}" for v in user_values),
+            all(a <= b + 0.01 for a, b in zip(user_values, user_values[1:])),
+        )
+        top = rows[-1]
+        result.add_check(
+            "user grows faster than system and io",
+            "user slope dominates",
+            f"user {top[1]:.1%} vs system {top[2]:.1%} vs io {top[3]:.1%}",
+            top[1] > top[2] and top[1] > top[3],
+        )
+        result.add_check(
+            "significant idle capacity at peak rate",
+            "CAS has capacity to spare in all runs",
+            f"idle {top[4]:.1%} at {top[0]:.1f} jobs/s",
+            top[4] >= 0.4,
+        )
+    return result

@@ -1,0 +1,146 @@
+"""Figure 13: Condor scheduling rate vs. job queue length.
+
+Paper setup: one schedd with the job throttle raised to two jobs per
+second, a preloaded queue of one-minute jobs, and a cluster big enough to
+keep the schedd busy (300 VMs for the 5-jobs/s probe; we use 300).
+Findings:
+
+* the schedd sustains the 2 jobs/s throttle only while the queue is
+  short;
+* throughput begins to drop below 2 jobs/s at ~1,800 queued jobs;
+* with >= 5,000 jobs queued, throughput falls below one job per second.
+
+Our run preloads a deep queue and lets it drain; as the queue shrinks,
+observed throughput recovers — we report rate as a function of queue
+length exactly as the paper's scatter plot does.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster import ClusterSpec
+from repro.condor import CondorConfig, CondorPool
+from repro.metrics import ExperimentResult
+from repro.workload import fixed_length_batch
+
+_RUN_CACHE: Dict[Tuple, "CondorRateRun"] = {}
+
+
+class CondorRateRun:
+    """Measurements from one queue-drain run."""
+
+    def __init__(self, pool: CondorPool, samples: List[Tuple[int, float, float]]):
+        self.pool = pool
+        #: (queue_length, rate_jobs_per_s, minute) samples.
+        self.samples = samples
+
+
+def run_drain(
+    preload: int = 6500,
+    throttle: float = 2.0,
+    seed: int = 42,
+    cluster_vms: int = 300,
+    max_seconds: float = 9000.0,
+) -> CondorRateRun:
+    """Drain a deep queue of one-minute jobs through one schedd."""
+    key = (preload, throttle, seed, cluster_vms)
+    cached = _RUN_CACHE.get(key)
+    if cached is not None:
+        return cached
+    config = CondorConfig(job_throttle_per_second=throttle)
+    pool = CondorPool(
+        ClusterSpec(physical_nodes=cluster_vms // 4, vms_per_node=4),
+        seed=seed,
+        config=config,
+    )
+    pool.submit_at(0.0, fixed_length_batch(preload, 60.0))
+    pool.run_until_complete(expected_jobs=preload, max_seconds=max_seconds)
+
+    # Correlate per-minute completion rate with queue length at the
+    # minute's start.  Queue length at time t = preload - completions(<t)
+    # (jobs stay in the queue until their completion is processed).
+    completions = sorted(pool.completion_times())
+    samples: List[Tuple[int, float, float]] = []
+    total_minutes = int(pool.sim.now // 60)
+    for minute in range(1, total_minutes + 1):
+        start, end = minute * 60.0, (minute + 1) * 60.0
+        done_before = bisect.bisect_left(completions, start)
+        done_in_minute = bisect.bisect_left(completions, end) - done_before
+        queue_length = preload - done_before
+        if queue_length <= 0:
+            break
+        samples.append((queue_length, done_in_minute / 60.0, minute))
+    run = CondorRateRun(pool, samples)
+    _RUN_CACHE[key] = run
+    return run
+
+
+def rate_near_queue_length(
+    samples: List[Tuple[int, float, float]], target: int, width: int = 400
+) -> Optional[float]:
+    """Mean observed rate for samples with queue length near ``target``."""
+    nearby = [rate for qlen, rate, _ in samples if abs(qlen - target) <= width]
+    if not nearby:
+        return None
+    return sum(nearby) / len(nearby)
+
+
+def run(seed: int = 42, preload: int = 6500) -> ExperimentResult:
+    """Run the drain and evaluate Figure 13's shape claims."""
+    drain = run_drain(preload=preload, seed=seed)
+    result = ExperimentResult(
+        "fig13",
+        "Condor scheduling rate vs job queue length",
+        params={
+            "schedds": 1,
+            "throttle_jobs_per_s": 2.0,
+            "preload_jobs": preload,
+            "job_length_s": 60,
+            "cluster_vms": 300,
+            "seed": seed,
+        },
+    )
+    result.series["rate_vs_queue"] = [
+        (float(qlen), rate) for qlen, rate, _ in drain.samples
+    ]
+    for target in (6000, 5000, 4000, 3000, 2000, 1500, 1000, 500):
+        rate = rate_near_queue_length(drain.samples, target)
+        if rate is not None:
+            result.rows.append(
+                {"queue_length": target, "jobs_per_s": round(rate, 2)}
+            )
+
+    at_short = rate_near_queue_length(drain.samples, 800, width=600)
+    at_knee = rate_near_queue_length(drain.samples, 2500, width=500)
+    at_deep = rate_near_queue_length(drain.samples, 5500, width=600)
+    if at_short is not None:
+        result.add_check(
+            "short queue sustains the throttle",
+            "~2 jobs/s below ~1,800 queued",
+            f"{at_short:.2f} jobs/s near 800 queued",
+            at_short >= 1.7,
+        )
+    if at_knee is not None:
+        result.add_check(
+            "throughput below throttle past the knee",
+            "drops below 2 jobs/s past ~1,800 queued",
+            f"{at_knee:.2f} jobs/s near 2,500 queued",
+            at_knee < 1.9,
+        )
+    if at_deep is not None:
+        result.add_check(
+            "deep queue falls below one job per second",
+            "< 1 job/s at >= 5,000 queued",
+            f"{at_deep:.2f} jobs/s near 5,500 queued",
+            at_deep < 1.0,
+        )
+    if at_short is not None and at_deep is not None:
+        result.add_check(
+            "rate decreases with queue length",
+            "monotone decline from short to deep queue",
+            f"{at_short:.2f} -> {at_knee:.2f} -> {at_deep:.2f}",
+            at_short > (at_knee or 0) > at_deep,
+        )
+    return result

@@ -1,0 +1,94 @@
+"""Figure 14: Condor schedd CPU usage vs. job queue length.
+
+Same run as Figure 13, plotting the schedd's CPU consumption against
+queue length.  The paper adjusts the numbers: the schedd is single-
+threaded on a four-processor box, so user and IO percentages are
+multiplied by four "to better reflect the intuitive notion of when the
+schedd has used all available cycles".  Findings:
+
+* CPU usage increases linearly from 0 to about 2,000 jobs in the queue;
+* past that point the schedd runs out of cycles: user growth is damped
+  and IO wait falls (the saturated thread has no idle gaps to wait in);
+* the saturation point coincides with the throughput knee of Figure 13.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.experiments.fig13_condor_rate_vs_qlen import run_drain
+from repro.metrics import ExperimentResult
+from repro.sim.cpu import TAG_IO, TAG_USER
+
+
+def run(seed: int = 42, preload: int = 6500) -> ExperimentResult:
+    """Correlate adjusted schedd CPU with queue length."""
+    drain = run_drain(preload=preload, seed=seed)
+    pool = drain.pool
+    cores = pool.server_host.cores
+    samples = pool.server_utilization(until=pool.sim.now)
+    by_minute = {s.minute: s for s in samples}
+
+    result = ExperimentResult(
+        "fig14",
+        "Condor schedd CPU (x4 adjusted) vs job queue length",
+        params={
+            "schedds": 1,
+            "throttle_jobs_per_s": 2.0,
+            "preload_jobs": preload,
+            "adjustment": f"x{cores} (single-threaded schedd on {cores} cores)",
+            "seed": seed,
+        },
+    )
+    points: List[Tuple[int, float, float]] = []
+    for queue_length, _rate, minute in drain.samples:
+        sample = by_minute.get(minute)
+        if sample is None:
+            continue
+        # The x4 adjustment: express busy fractions relative to ONE core.
+        user = min(1.0, sample.fraction(TAG_USER) * cores)
+        io = min(1.0, sample.fraction(TAG_IO) * cores)
+        points.append((queue_length, user, io))
+    points.sort()
+    result.series["user_pct_adjusted"] = [(float(q), u * 100) for q, u, _ in points]
+    result.series["io_pct_adjusted"] = [(float(q), i * 100) for q, _, i in points]
+    for q, u, i in points[:: max(1, len(points) // 20)]:
+        result.rows.append(
+            {
+                "queue_length": q,
+                "user_pct": round(u * 100, 1),
+                "io_pct": round(i * 100, 1),
+                "idle_pct": round(max(0.0, 1 - u - i) * 100, 1),
+            }
+        )
+
+    def mean_user(lo: int, hi: int) -> float:
+        vals = [u for q, u, _ in points if lo <= q <= hi]
+        return sum(vals) / len(vals) if vals else 0.0
+
+    low, mid, high = mean_user(0, 800), mean_user(1000, 1800), mean_user(3000, 6500)
+    result.rows.append({"queue_length": "mean<800", "user_pct": round(low * 100, 1),
+                        "io_pct": "", "idle_pct": ""})
+    result.add_check(
+        "CPU grows with queue length below the knee",
+        "linear growth from 0 to ~2,000 queued",
+        f"user {low:.0%} (short) -> {mid:.0%} (near knee)",
+        mid > low + 0.1,
+    )
+    result.add_check(
+        "schedd saturates its single core past the knee",
+        "user cycles plateau near 100% (x4 adjusted)",
+        f"user {high:.0%} at deep queue",
+        high >= 0.85,
+    )
+    io_low = [i for q, _, i in points if q <= 1200]
+    io_high = [i for q, _, i in points if q >= 4000]
+    if io_low and io_high:
+        result.add_check(
+            "io wait squeezed out at saturation",
+            "IO cycles decrease once CPU saturates",
+            f"io {sum(io_low)/len(io_low):.1%} (short) vs "
+            f"{sum(io_high)/len(io_high):.1%} (deep)",
+            sum(io_high) / len(io_high) <= sum(io_low) / len(io_low) + 0.02,
+        )
+    return result

@@ -1,0 +1,13 @@
+"""Reporting utilities: tables, charts and structured experiment results."""
+
+from repro.metrics.report import ascii_bars, ascii_chart, ascii_table, fraction_percent
+from repro.metrics.results import ExperimentResult, ShapeCheck
+
+__all__ = [
+    "ExperimentResult",
+    "ShapeCheck",
+    "ascii_bars",
+    "ascii_chart",
+    "ascii_table",
+    "fraction_percent",
+]

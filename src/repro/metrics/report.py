@@ -1,0 +1,112 @@
+"""Plain-text rendering of experiment output.
+
+The benchmark harness prints the same rows and series the paper reports.
+Everything renders to monospace text: tables for per-experiment summary
+rows, line charts for time series (Figures 9-16), and bar charts for the
+drop counts of Figure 8.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+
+def ascii_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Render a fixed-width table with a header rule."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}".rstrip("0").rstrip(".") if cell == cell else "nan"
+    return str(cell)
+
+
+def ascii_chart(
+    series: Sequence[Tuple[float, float]],
+    width: int = 72,
+    height: int = 16,
+    title: str = "",
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Render an (x, y) series as a monospace line chart.
+
+    Points are binned into ``width`` columns; each column plots the mean y
+    of its bin.  The y axis is annotated with min/max.
+    """
+    if not series:
+        return f"{title}\n(empty series)"
+    xs = [float(x) for x, _ in series]
+    ys = [float(y) for _, y in series]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    columns: List[List[float]] = [[] for _ in range(width)]
+    for x, y in zip(xs, ys):
+        col = min(width - 1, int((x - x_lo) / (x_hi - x_lo) * width))
+        columns[col].append(y)
+    grid = [[" "] * width for _ in range(height)]
+    for col, bucket in enumerate(columns):
+        if not bucket:
+            continue
+        mean = sum(bucket) / len(bucket)
+        row = int((mean - y_lo) / (y_hi - y_lo) * (height - 1))
+        grid[height - 1 - row][col] = "*"
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_hi:>10.2f} +" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " |" + "".join(row))
+    lines.append(f"{y_lo:>10.2f} +" + "".join(grid[-1]))
+    lines.append(" " * 12 + f"{x_lo:<10.1f}" + " " * max(0, width - 20) + f"{x_hi:>10.1f}")
+    footer = "  ".join(part for part in (y_label, x_label) if part)
+    if footer:
+        lines.append(" " * 12 + footer)
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 48,
+    title: str = "",
+) -> str:
+    """Render labelled horizontal bars (used for Figure 8)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not values:
+        return "\n".join(lines + ["(no data)"])
+    peak = max(values) or 1.0
+    label_width = max(len(label) for label in labels)
+    for label, value in zip(labels, values):
+        bar = "#" * int(round(value / peak * width))
+        lines.append(f"{label.ljust(label_width)}  {bar} {value:g}")
+    return "\n".join(lines)
+
+
+def fraction_percent(value: float) -> str:
+    """Format a 0..1 fraction as a percentage string."""
+    return f"{value * 100.0:.1f}%"

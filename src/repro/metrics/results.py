@@ -1,0 +1,82 @@
+"""Structured experiment results and paper-shape checks.
+
+Every experiment module returns an :class:`ExperimentResult`: the series it
+measured, the summary rows it prints, and a list of :class:`ShapeCheck`
+assertions comparing measured behaviour against the *qualitative* claims of
+the paper (who wins, where the knee is, what saturates).  Benchmarks print
+the result; tests assert ``result.all_checks_pass()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.metrics.report import ascii_table
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    """One qualitative assertion from the paper, evaluated on our run."""
+
+    name: str
+    expected: str
+    measured: str
+    ok: bool
+
+    def row(self) -> Tuple[str, str, str, str]:
+        """Render as a table row."""
+        return (self.name, self.expected, self.measured, "PASS" if self.ok else "FAIL")
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment produced."""
+
+    experiment_id: str
+    title: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    series: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    checks: List[ShapeCheck] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_check(
+        self, name: str, expected: str, measured: str, ok: bool
+    ) -> None:
+        """Record a qualitative paper-shape check."""
+        self.checks.append(ShapeCheck(name, expected, measured, bool(ok)))
+
+    def all_checks_pass(self) -> bool:
+        """Whether every recorded shape check holds."""
+        return all(check.ok for check in self.checks)
+
+    def failed_checks(self) -> List[ShapeCheck]:
+        """The subset of checks that did not hold."""
+        return [check for check in self.checks if not check.ok]
+
+    def summary(self) -> str:
+        """A printable report: parameters, data rows and checks."""
+        sections: List[str] = [f"== {self.experiment_id}: {self.title} =="]
+        if self.params:
+            sections.append(
+                ascii_table(
+                    ["parameter", "value"],
+                    sorted((k, v) for k, v in self.params.items()),
+                )
+            )
+        if self.rows:
+            headers = list(self.rows[0].keys())
+            sections.append(
+                ascii_table(headers, [[row.get(h, "") for h in headers] for row in self.rows])
+            )
+        if self.checks:
+            sections.append(
+                ascii_table(
+                    ["check", "paper", "measured", "status"],
+                    [check.row() for check in self.checks],
+                )
+            )
+        for note in self.notes:
+            sections.append(f"note: {note}")
+        return "\n\n".join(sections)

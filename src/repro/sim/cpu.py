@@ -1,0 +1,136 @@
+"""Simulated hosts: cores, relative speed, memory and disk.
+
+Both systems in the paper run their server-side components on a single
+3.0 GHz quad-Xeon box with 4 GB of RAM, while the execute nodes are a mix of
+slower single- and dual-processor 1 GHz Pentium-III machines.  This module
+models exactly the properties those experiments exercise:
+
+* a fixed number of cores shared FIFO by the host's daemons (the
+  single-threaded schedd can use at most one of four cores — Figure 14);
+* a relative speed factor scaling CPU demand into occupancy time (slow P3
+  execute nodes take longer to set up job environments — Figure 8);
+* a memory budget whose exhaustion crashes the host's daemons (the shadow
+  blow-up of section 5.3.2);
+* a disk whose busy time is metered as io-wait cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.sim.errors import MemoryExhausted, ResourceError
+from repro.sim.kernel import Simulator, Use
+from repro.sim.resources import Resource, UsageMeter
+
+#: Tags used for CPU accounting, mirroring the paper's /proc categories.
+TAG_USER = "user"
+TAG_SYSTEM = "system"
+TAG_IO = "io"
+
+
+class Host:
+    """A simulated machine with metered CPU, disk and a memory budget."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        cores: int = 1,
+        speed: float = 1.0,
+        memory_mb: float = 1024.0,
+        bucket_seconds: float = 60.0,
+    ):
+        if cores <= 0:
+            raise ResourceError("cores must be positive")
+        if speed <= 0:
+            raise ResourceError("speed must be positive")
+        self.sim = sim
+        self.name = name
+        self.cores = cores
+        self.speed = speed
+        self.memory_mb = memory_mb
+        self.meter = UsageMeter(bucket_seconds=bucket_seconds)
+        self.cpu = Resource(sim, capacity=cores, name=f"{name}.cpu", meter=self.meter)
+        self.disk = Resource(sim, capacity=1, name=f"{name}.disk", meter=self.meter)
+        self._memory_used_mb = 0.0
+
+    # ------------------------------------------------------------------
+    # CPU and disk effects
+    # ------------------------------------------------------------------
+    def compute(self, cpu_seconds: float, tag: str = TAG_USER) -> Use:
+        """Effect: occupy one core for ``cpu_seconds`` of demand.
+
+        Demand is normalised for a speed-1.0 machine; a host with
+        ``speed=0.5`` takes twice as long to execute the same demand.
+        """
+        return Use(self.cpu, cpu_seconds / self.speed, tag)
+
+    def system_work(self, cpu_seconds: float) -> Use:
+        """Effect: kernel-mode work (tagged as system cycles)."""
+        return Use(self.cpu, cpu_seconds / self.speed, TAG_SYSTEM)
+
+    def occupy(self, seconds: float, tag: str = TAG_USER) -> Use:
+        """Effect: occupy one core for exactly ``seconds`` (no speed scaling).
+
+        Used by cost models whose constants are already expressed as
+        occupancy time on this specific machine.
+        """
+        return Use(self.cpu, seconds, tag)
+
+    def disk_io(self, seconds: float) -> Use:
+        """Effect: occupy the disk for ``seconds`` (metered as io-wait)."""
+        return Use(self.disk, seconds, TAG_IO)
+
+    # ------------------------------------------------------------------
+    # memory
+    # ------------------------------------------------------------------
+    @property
+    def memory_used_mb(self) -> float:
+        """Currently allocated simulated memory in MB."""
+        return self._memory_used_mb
+
+    @property
+    def memory_free_mb(self) -> float:
+        """Remaining simulated memory in MB."""
+        return self.memory_mb - self._memory_used_mb
+
+    def allocate_memory(self, mb: float) -> None:
+        """Claim ``mb`` of memory, raising :class:`MemoryExhausted` on overflow."""
+        if mb < 0:
+            raise ResourceError(f"negative allocation {mb!r}")
+        if self._memory_used_mb + mb > self.memory_mb:
+            raise MemoryExhausted(self.name, mb, self.memory_free_mb)
+        self._memory_used_mb += mb
+
+    def free_memory(self, mb: float) -> None:
+        """Release ``mb`` of previously allocated memory."""
+        if mb < 0:
+            raise ResourceError(f"negative free {mb!r}")
+        self._memory_used_mb = max(0.0, self._memory_used_mb - mb)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def utilization(self, until: Optional[float] = None):
+        """Per-minute utilisation samples over user/system/io tags."""
+        return self.meter.utilization(
+            capacity=self.cores, until=until, tags=[TAG_USER, TAG_SYSTEM, TAG_IO]
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Host {self.name!r} cores={self.cores} speed={self.speed}>"
+
+
+def busy_loop(host: Host, cpu_seconds: float, tag: str = TAG_USER) -> Generator:
+    """A tiny process that burns CPU then exits (useful in tests)."""
+    yield host.compute(cpu_seconds, tag)
+
+
+def quad_xeon(sim: Simulator, name: str = "server") -> Host:
+    """The paper's server box: 3.0 GHz quad-Xeon, 4 GB RAM, RAID-5 disk."""
+    return Host(sim, name, cores=4, speed=3.0, memory_mb=4096.0)
+
+
+def p3_node(sim: Simulator, name: str, cores: int = 1) -> Host:
+    """A test-bed execute node: 1 GHz Pentium III, one or two processors."""
+    return Host(sim, name, cores=cores, speed=1.0, memory_mb=512.0)

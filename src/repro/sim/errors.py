@@ -1,0 +1,58 @@
+"""Exception types raised by the simulation kernel.
+
+The kernel keeps its own small exception hierarchy so that callers can
+distinguish simulation-model failures (for example a simulated host running
+out of memory) from programming errors in the harness itself.
+"""
+
+from __future__ import annotations
+
+
+class SimError(Exception):
+    """Base class for all simulation-kernel errors."""
+
+
+class SchedulingError(SimError):
+    """Raised when an event is scheduled incoherently.
+
+    Examples include scheduling an event in the past or re-cancelling an
+    event that already fired.
+    """
+
+
+class ProcessError(SimError):
+    """Raised when a simulated process is driven incorrectly.
+
+    A process generator yielding an object that is not an effect, or a
+    process being resumed after it terminated, raises this error.
+    """
+
+
+class ResourceError(SimError):
+    """Raised on incoherent resource usage (e.g. negative demand)."""
+
+
+class MemoryExhausted(SimError):
+    """Raised when a simulated host exceeds its physical memory.
+
+    The Condor large-cluster experiment (paper section 5.3.2) relies on this
+    failure mode: one shadow process per running job eventually exhausts the
+    submit machine once 5,000 jobs begin turning over.
+    """
+
+    def __init__(self, host_name: str, requested_mb: float, available_mb: float):
+        self.host_name = host_name
+        self.requested_mb = requested_mb
+        self.available_mb = available_mb
+        super().__init__(
+            f"host {host_name!r} out of memory: "
+            f"requested {requested_mb:.1f} MB, {available_mb:.1f} MB available"
+        )
+
+
+class SimulationLimitExceeded(SimError):
+    """Raised when a run exceeds a configured safety limit.
+
+    Used as a guard against accidental unbounded simulations (for example an
+    experiment that never reaches its termination condition).
+    """

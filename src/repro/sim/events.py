@@ -1,0 +1,111 @@
+"""Event queue primitives for the discrete-event kernel.
+
+The queue is a binary heap ordered by ``(time, sequence)``. The sequence
+number makes execution order deterministic for events scheduled at the same
+instant: whichever was scheduled first fires first. Determinism matters
+because every experiment in the reproduction must be exactly repeatable from
+its seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.sim.errors import SchedulingError
+
+
+@dataclass(order=True)
+class _HeapEntry:
+    """Internal heap record; comparison uses time then sequence only."""
+
+    time: float
+    seq: int
+    handle: "EventHandle" = field(compare=False)
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled callback.
+
+    Instances are returned by :meth:`EventQueue.push` (and by the simulator's
+    ``schedule`` helpers). Cancelling a handle is O(1): the entry stays in the
+    heap but is skipped when popped.
+    """
+
+    __slots__ = ("time", "callback", "args", "_cancelled", "_fired")
+
+    def __init__(self, time: float, callback: Callable[..., Any], args: tuple):
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self._cancelled = False
+        self._fired = False
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` was called before the event fired."""
+        return self._cancelled
+
+    @property
+    def fired(self) -> bool:
+        """Whether the event's callback has already run."""
+        return self._fired
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is still waiting to fire."""
+        return not (self._cancelled or self._fired)
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.
+
+        Cancelling an event that already fired is a programming error and
+        raises :class:`SchedulingError`; cancelling twice is a no-op.
+        """
+        if self._fired:
+            raise SchedulingError("cannot cancel an event that already fired")
+        self._cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "fired" if self._fired else ("cancelled" if self._cancelled else "pending")
+        return f"<EventHandle t={self.time:.6f} {state} {self.callback!r}>"
+
+
+class EventQueue:
+    """A deterministic priority queue of timestamped callbacks."""
+
+    def __init__(self) -> None:
+        self._heap: list[_HeapEntry] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        """Number of pending (non-cancelled) events."""
+        return sum(1 for entry in self._heap if entry.handle.pending)
+
+    def push(self, time: float, callback: Callable[..., Any], args: tuple = ()) -> EventHandle:
+        """Schedule ``callback(*args)`` at simulated ``time``."""
+        handle = EventHandle(time, callback, args)
+        heapq.heappush(self._heap, _HeapEntry(time, next(self._counter), handle))
+        return handle
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next live event, or None when empty."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def pop(self) -> Optional[EventHandle]:
+        """Remove and return the next live event handle (None when empty)."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        entry = heapq.heappop(self._heap)
+        entry.handle._fired = True
+        return entry.handle
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].handle.cancelled:
+            heapq.heappop(self._heap)

@@ -1,0 +1,143 @@
+"""Time-series collection helpers for experiment instrumentation.
+
+The paper's figures are all time series or scatter plots derived from three
+kinds of instrumentation:
+
+* per-minute CPU samples pulled from /proc (Figures 9, 10, 14) — we get
+  these from :class:`~repro.sim.resources.UsageMeter`;
+* event timestamp logs (job submitted / started / completed) from which
+  throughput and jobs-in-progress series are derived (Figures 7, 11, 12,
+  13, 15, 16);
+* counters (dropped jobs per node — Figure 8).
+
+This module provides the event log and the series derivations.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class LoggedEvent:
+    """A timestamped observation with free-form attributes."""
+
+    time: float
+    kind: str
+    attrs: Dict[str, Any]
+
+
+class EventLog:
+    """An append-only log of simulation observations."""
+
+    def __init__(self) -> None:
+        self._events: List[LoggedEvent] = []
+
+    def record(self, time: float, kind: str, **attrs: Any) -> None:
+        """Append one event."""
+        self._events.append(LoggedEvent(time=time, kind=kind, attrs=attrs))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events(self, kind: Optional[str] = None) -> List[LoggedEvent]:
+        """All events, or only those of ``kind``."""
+        if kind is None:
+            return list(self._events)
+        return [event for event in self._events if event.kind == kind]
+
+    def times(self, kind: str) -> List[float]:
+        """Sorted timestamps of all events of ``kind``."""
+        return sorted(event.time for event in self._events if event.kind == kind)
+
+    def count(self, kind: str) -> int:
+        """Number of events of ``kind``."""
+        return sum(1 for event in self._events if event.kind == kind)
+
+
+def per_minute_rate(times: Iterable[float], horizon: Optional[float] = None) -> List[Tuple[int, float]]:
+    """Events-per-second for each simulated minute.
+
+    Returns ``(minute, rate)`` pairs covering minute 0 through the last
+    minute containing an event (or through ``horizon`` seconds).  This is
+    exactly how the paper derives the "job turnover rate" plots: completions
+    are bucketed by wall-clock minute and divided by 60.
+    """
+    counts: Dict[int, int] = defaultdict(int)
+    last = -1
+    for time in times:
+        minute = int(time // 60.0)
+        counts[minute] += 1
+        last = max(last, minute)
+    if horizon is not None:
+        last = max(last, int((horizon - 1e-9) // 60.0))
+    return [(minute, counts.get(minute, 0) / 60.0) for minute in range(last + 1)]
+
+
+def in_progress_series(
+    starts: Iterable[float], ends: Iterable[float], horizon: Optional[float] = None
+) -> List[Tuple[int, int]]:
+    """Jobs in progress sampled at each minute boundary.
+
+    ``starts`` and ``ends`` are the start/completion timestamps of every
+    job.  The sample at minute *m* counts jobs with ``start <= 60m < end``,
+    matching the paper's Figures 11, 15 and 16.
+    """
+    start_list = sorted(starts)
+    end_list = sorted(ends)
+    last_time = 0.0
+    if start_list:
+        last_time = max(last_time, start_list[-1])
+    if end_list:
+        last_time = max(last_time, end_list[-1])
+    if horizon is not None:
+        last_time = max(last_time, horizon)
+    last_minute = int(last_time // 60.0)
+    series: List[Tuple[int, int]] = []
+    for minute in range(last_minute + 1):
+        at = minute * 60.0
+        started = bisect.bisect_right(start_list, at)
+        ended = bisect.bisect_right(end_list, at)
+        series.append((minute, started - ended))
+    return series
+
+
+def steady_state_rate(
+    times: List[float], ramp_fraction: float = 0.1
+) -> float:
+    """Average event rate excluding ramp-up and ramp-down.
+
+    The paper computes average scheduling throughput "excluding the ramp up
+    and ramp down time"; we drop the first and last ``ramp_fraction`` of the
+    observation window.
+    """
+    if len(times) < 2:
+        return 0.0
+    ordered = sorted(times)
+    span = ordered[-1] - ordered[0]
+    if span <= 0:
+        return 0.0
+    lo = ordered[0] + span * ramp_fraction
+    hi = ordered[-1] - span * ramp_fraction
+    inside = [t for t in ordered if lo <= t <= hi]
+    if len(inside) < 2 or hi <= lo:
+        return len(ordered) / span
+    return len(inside) / (hi - lo)
+
+
+def rolling_average(
+    series: List[Tuple[int, float]], window: int = 5
+) -> List[Tuple[int, float]]:
+    """Trailing rolling average over ``window`` samples (Figure 10 uses 5)."""
+    if window <= 0:
+        raise ValueError("window must be positive")
+    result: List[Tuple[int, float]] = []
+    values: List[float] = []
+    for index, value in series:
+        values.append(value)
+        tail = values[-window:]
+        result.append((index, sum(tail) / len(tail)))
+    return result

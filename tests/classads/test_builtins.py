@@ -1,0 +1,110 @@
+"""Unit tests for ClassAd builtin functions."""
+
+import pytest
+
+from repro.classads import ClassAd, is_error, is_undefined
+
+
+def ev(source):
+    return ClassAd().evaluate_expr(source)
+
+
+def test_floor_ceiling_round():
+    assert ev("floor(3.7)") == 3
+    assert ev("ceiling(3.2)") == 4
+    assert ev("round(3.5)") == 4
+    assert ev("round(2.4)") == 2
+    assert ev("floor(-1.5)") == -2
+
+
+def test_int_and_real_conversions():
+    assert ev("int(3.9)") == 3
+    assert ev('int("42")') == 42
+    assert ev("real(3)") == 3.0
+    assert ev('real("2.5")') == 2.5
+    assert is_error(ev('int("nope")'))
+
+
+def test_string_conversion():
+    assert ev("string(3)") == "3"
+    assert ev("string(TRUE)") == "TRUE"
+    assert ev('string("x")') == "x"
+
+
+def test_is_undefined_is_error_are_non_strict():
+    assert ev("isUndefined(Missing)") is True
+    assert ev("isUndefined(3)") is False
+    assert ev("isError(1/0)") is True
+    assert ev("isError(3)") is False
+
+
+def test_if_then_else():
+    assert ev("ifThenElse(TRUE, 1, 2)") == 1
+    assert ev("ifThenElse(0, 1, 2)") == 2
+    assert is_undefined(ev("ifThenElse(Missing, 1, 2)"))
+
+
+def test_min_max_pow():
+    assert ev("min(3, 1, 2)") == 1
+    assert ev("max(3, 1, 2)") == 3
+    assert ev("pow(2, 10)") == 1024
+    assert is_error(ev("min()"))
+
+
+def test_strcmp_and_stricmp():
+    assert ev('strcmp("a", "b")') < 0
+    assert ev('strcmp("b", "a")') > 0
+    assert ev('strcmp("a", "a")') == 0
+    assert ev('stricmp("ABC", "abc")') == 0
+
+
+def test_case_functions():
+    assert ev('toUpper("abc")') == "ABC"
+    assert ev('toLower("ABC")') == "abc"
+
+
+def test_size_of_string_and_list():
+    assert ev('size("hello")') == 5
+    assert ev("size({1, 2, 3})") == 3
+    assert is_error(ev("size(3)"))
+
+
+def test_substr_variants():
+    assert ev('substr("hello", 1)') == "ello"
+    assert ev('substr("hello", 1, 3)') == "ell"
+    assert ev('substr("hello", -3)') == "llo"
+    assert ev('substr("hello", 0, -1)') == "hell"
+
+
+def test_string_list_functions():
+    assert ev('stringListMember("b", "a, b, c")') is True
+    assert ev('stringListMember("z", "a, b, c")') is False
+    assert ev('stringListIMember("B", "a, b, c")') is True
+    assert ev('stringListSize("a, b, c")') == 3
+    assert ev('stringListSize("")') == 0
+
+
+def test_regexp():
+    assert ev('regexp("^lin", "linux")') is True
+    assert ev('regexp("win", "linux")') is False
+    assert is_error(ev('regexp("(", "linux")'))
+
+
+def test_member_of_list():
+    assert ev("member(2, {1, 2, 3})") is True
+    assert ev("member(5, {1, 2, 3})") is False
+    assert is_error(ev("member(1, 2)"))
+
+
+def test_unknown_function_is_error():
+    assert is_error(ev("noSuchFunction(1)"))
+
+
+def test_builtins_case_insensitive_names():
+    assert ev("FLOOR(3.9)") == 3
+    assert ev("Min(2, 1)") == 1
+
+
+def test_strict_builtins_propagate_abnormal():
+    assert is_undefined(ev("floor(Missing)"))
+    assert is_error(ev("floor(1/0)"))

@@ -1,0 +1,163 @@
+"""Unit tests for the ClassAd container and matchmaking."""
+
+import pytest
+
+from repro.classads import ClassAd, symmetric_match
+
+
+MACHINE_AD = """
+MachineName = "node01"
+Arch = "INTEL"
+OpSys = "LINUX"
+Memory = 512
+KFlops = 21893
+Requirements = TARGET.ImageSize <= MY.Memory
+Rank = 0
+"""
+
+JOB_AD = """
+Owner = "alice"
+Cmd = "/bin/science"
+ImageSize = 64
+Requirements = (TARGET.Arch == "INTEL") && (TARGET.OpSys == "LINUX")
+Rank = TARGET.KFlops
+"""
+
+
+def test_parse_multi_statement_ad():
+    ad = ClassAd.parse(MACHINE_AD)
+    assert ad.get("MachineName") == "node01"
+    assert ad.get("Memory") == 512
+    assert "requirements" in ad
+
+
+def test_setitem_with_python_values():
+    ad = ClassAd()
+    ad["Count"] = 3
+    ad["Ratio"] = 0.5
+    ad["Name"] = "x"
+    ad["Flag"] = True
+    ad["Tags"] = ["a", "b"]
+    assert ad.get("Count") == 3
+    assert ad.get("Ratio") == 0.5
+    assert ad.get("Name") == "x"
+    assert ad.get("Flag") is True
+    assert ad.get("Tags") == ["a", "b"]
+
+
+def test_setitem_none_becomes_undefined():
+    ad = ClassAd()
+    ad["x"] = None
+    assert ad.get("x", "fallback") == "fallback"
+
+
+def test_set_expr_from_string():
+    ad = ClassAd({"base": 21})
+    ad.set_expr("doubled", "base * 2")
+    assert ad.get("doubled") == 42
+
+
+def test_contains_delete_len_iter():
+    ad = ClassAd({"A": 1, "B": 2})
+    assert "a" in ad and "B" in ad
+    assert len(ad) == 2
+    del ad["A"]
+    assert "A" not in ad
+    assert list(ad) == ["B"]
+
+
+def test_get_default_for_missing():
+    ad = ClassAd()
+    assert ad.get("nothing") is None
+    assert ad.get("nothing", 7) == 7
+
+
+def test_evaluate_missing_attribute_is_undefined():
+    from repro.classads import is_undefined
+
+    assert is_undefined(ClassAd().evaluate("ghost"))
+
+
+def test_match_succeeds_for_compatible_ads():
+    machine = ClassAd.parse(MACHINE_AD)
+    job = ClassAd.parse(JOB_AD)
+    assert machine.requirements_satisfied_by(job)
+    assert job.requirements_satisfied_by(machine)
+    assert symmetric_match(machine, job)
+
+
+def test_match_fails_on_architecture_mismatch():
+    machine = ClassAd.parse(MACHINE_AD)
+    machine["Arch"] = "SPARC"
+    job = ClassAd.parse(JOB_AD)
+    assert not job.requirements_satisfied_by(machine)
+    assert not symmetric_match(machine, job)
+
+
+def test_match_fails_when_job_too_big():
+    machine = ClassAd.parse(MACHINE_AD)
+    job = ClassAd.parse(JOB_AD)
+    job["ImageSize"] = 100000
+    assert not machine.requirements_satisfied_by(job)
+
+
+def test_missing_requirements_matches_anything():
+    anything = ClassAd({"x": 1})
+    job = ClassAd.parse(JOB_AD)
+    assert anything.requirements_satisfied_by(job)
+
+
+def test_undefined_requirements_do_not_match():
+    machine = ClassAd.parse(MACHINE_AD)
+    job = ClassAd.parse(JOB_AD)
+    del job["ImageSize"]
+    # machine's Requirements references TARGET.ImageSize -> UNDEFINED -> no match
+    assert not machine.requirements_satisfied_by(job)
+
+
+def test_rank_evaluates_against_target():
+    machine = ClassAd.parse(MACHINE_AD)
+    job = ClassAd.parse(JOB_AD)
+    assert job.rank_of(machine) == pytest.approx(21893.0)
+
+
+def test_rank_missing_or_abnormal_is_zero():
+    job = ClassAd.parse(JOB_AD)
+    no_kflops = ClassAd({"Arch": "INTEL"})
+    assert job.rank_of(no_kflops) == 0.0
+    no_rank = ClassAd({})
+    assert no_rank.rank_of(job) == 0.0
+
+
+def test_rank_orders_machines():
+    job = ClassAd.parse(JOB_AD)
+    slow = ClassAd({"KFlops": 1000})
+    fast = ClassAd({"KFlops": 90000})
+    assert job.rank_of(fast) > job.rank_of(slow)
+
+
+def test_copy_is_independent():
+    ad = ClassAd({"x": 1})
+    dup = ad.copy()
+    dup["x"] = 2
+    assert ad.get("x") == 1
+    assert dup.get("x") == 2
+
+
+def test_unparse_round_trips():
+    ad = ClassAd.parse(MACHINE_AD)
+    reparsed = ClassAd.parse(ad.unparse())
+    assert reparsed.get("Memory") == 512
+    assert reparsed.get("MachineName") == "node01"
+    job = ClassAd.parse(JOB_AD)
+    assert symmetric_match(reparsed, job) == symmetric_match(ad, job)
+
+
+def test_malformed_statement_raises():
+    with pytest.raises(ValueError):
+        ClassAd.parse("just a phrase without equals")
+
+
+def test_repr_contains_attributes():
+    ad = ClassAd({"Alpha": 1})
+    assert "Alpha" in repr(ad)

@@ -1,0 +1,192 @@
+"""Unit tests for ClassAd evaluation semantics."""
+
+import pytest
+
+from repro.classads import ClassAd, ERROR, UNDEFINED, is_error, is_undefined
+from repro.classads.values import values_identical
+
+
+def ev(source, my=None, target=None):
+    ad = my if my is not None else ClassAd()
+    return ad.evaluate_expr(source, target)
+
+
+# ----------------------------------------------------------------------
+# arithmetic
+# ----------------------------------------------------------------------
+def test_integer_arithmetic():
+    assert ev("1 + 2 * 3") == 7
+    assert ev("10 - 4") == 6
+    assert ev("7 / 2") == 3          # C-style truncation
+    assert ev("-7 / 2") == -3
+    assert ev("7 % 3") == 1
+    assert ev("2 * 3.5") == 7.0
+
+
+def test_division_by_zero_is_error():
+    assert is_error(ev("1 / 0"))
+    assert is_error(ev("1 % 0"))
+
+
+def test_string_concatenation_with_plus():
+    assert ev('"foo" + "bar"') == "foobar"
+
+
+def test_arithmetic_on_string_is_error():
+    assert is_error(ev('"foo" * 2'))
+
+
+def test_unary_minus_and_not():
+    assert ev("-5") == -5
+    assert ev("!TRUE") is False
+    assert ev("!0") is True
+
+
+def test_booleans_coerce_to_numbers():
+    assert ev("TRUE + TRUE") == 2
+    assert ev("FALSE * 10") == 0
+
+
+# ----------------------------------------------------------------------
+# comparison
+# ----------------------------------------------------------------------
+def test_numeric_comparisons():
+    assert ev("3 < 4") is True
+    assert ev("3 >= 4") is False
+    assert ev("3 == 3.0") is True
+    assert ev("3 != 4") is True
+
+
+def test_string_comparison_case_insensitive():
+    assert ev('"LINUX" == "linux"') is True
+    assert ev('"abc" < "abd"') is True
+
+
+def test_mixed_type_equality_is_error():
+    assert is_error(ev('"abc" == 3'))
+
+
+# ----------------------------------------------------------------------
+# three-valued logic
+# ----------------------------------------------------------------------
+def test_undefined_propagates_through_arithmetic():
+    assert is_undefined(ev("Missing + 1"))
+    assert is_undefined(ev("Missing < 4"))
+
+
+def test_and_short_circuits_undefined():
+    assert ev("FALSE && Missing") is False
+    assert ev("Missing && FALSE") is False
+    assert is_undefined(ev("TRUE && Missing"))
+
+
+def test_or_short_circuits_undefined():
+    assert ev("TRUE || Missing") is True
+    assert ev("Missing || TRUE") is True
+    assert is_undefined(ev("FALSE || Missing"))
+
+
+def test_error_dominates_undefined_in_logic():
+    assert is_error(ev("TRUE && (1/0)"))
+    assert ev("FALSE && (1/0)") is False
+
+
+def test_not_of_undefined_is_undefined():
+    assert is_undefined(ev("!Missing"))
+
+
+# ----------------------------------------------------------------------
+# meta operators
+# ----------------------------------------------------------------------
+def test_meta_equal_on_undefined():
+    assert ev("Missing =?= UNDEFINED") is True
+    assert ev("Missing =?= 1") is False
+    assert ev("Missing =!= UNDEFINED") is False
+
+
+def test_meta_equal_distinguishes_types():
+    assert ev('"1" =?= 1') is False
+    assert ev("1 =?= 1.0") is True     # numbers compare across int/real
+    assert ev("TRUE =?= 1") is False   # bools are not numbers for =?=
+
+
+def test_is_isnt_keywords_evaluate():
+    assert ev("Missing is UNDEFINED") is True
+    assert ev("3 isnt UNDEFINED") is True
+
+
+# ----------------------------------------------------------------------
+# ternary
+# ----------------------------------------------------------------------
+def test_ternary_selects_branch():
+    assert ev("1 < 2 ? 10 : 20") == 10
+    assert ev("1 > 2 ? 10 : 20") == 20
+
+
+def test_ternary_abnormal_condition_propagates():
+    assert is_undefined(ev("Missing ? 1 : 2"))
+    assert is_error(ev("(1/0) ? 1 : 2"))
+
+
+def test_ternary_lazy_branches():
+    # The unselected branch must not be evaluated (no ERROR produced).
+    assert ev("TRUE ? 5 : (1/0)") == 5
+
+
+# ----------------------------------------------------------------------
+# attribute resolution
+# ----------------------------------------------------------------------
+def test_attribute_lookup_from_my():
+    ad = ClassAd({"Memory": 512})
+    assert ev("Memory * 2", my=ad) == 1024
+
+
+def test_attribute_names_case_insensitive():
+    ad = ClassAd({"OpSys": "LINUX"})
+    assert ev('opsys == "LINUX"', my=ad) is True
+
+
+def test_unscoped_lookup_falls_back_to_target():
+    machine = ClassAd({"Memory": 512})
+    job = ClassAd({})
+    assert ev("Memory", my=job, target=machine) == 512
+
+
+def test_scoped_lookup_does_not_fall_back():
+    machine = ClassAd({"Memory": 512})
+    job = ClassAd({})
+    assert is_undefined(ev("MY.Memory", my=job, target=machine))
+    assert ev("TARGET.Memory", my=job, target=machine) == 512
+
+
+def test_target_attribute_evaluated_in_its_own_scope():
+    # The machine's advertised Rate depends on its own Base attribute.
+    machine = ClassAd({"Base": 10})
+    machine.set_expr("Rate", "Base * 2")
+    job = ClassAd({})
+    assert ev("TARGET.Rate", my=job, target=machine) == 20
+
+
+def test_circular_attribute_definition_is_error():
+    ad = ClassAd()
+    ad.set_expr("a", "b")
+    ad.set_expr("b", "a")
+    assert is_error(ad.evaluate("a"))
+
+
+def test_self_recursive_attribute_is_error():
+    ad = ClassAd()
+    ad.set_expr("x", "x + 1")
+    assert is_error(ad.evaluate("x"))
+
+
+def test_computed_attributes_chain():
+    ad = ClassAd({"base": 4})
+    ad.set_expr("double", "base * 2")
+    ad.set_expr("quad", "double * 2")
+    assert ad.evaluate("quad") == 16
+
+
+def test_values_identical_lists():
+    assert values_identical([1, "a"], [1.0, "A"])
+    assert not values_identical([1], [1, 2])

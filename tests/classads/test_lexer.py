@@ -1,0 +1,80 @@
+"""Unit tests for the ClassAd tokenizer."""
+
+import pytest
+
+from repro.classads.lexer import ClassAdSyntaxError, iter_statements, tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.value) for t in tokenize(text)[:-1]]
+
+
+def test_tokenize_numbers():
+    assert kinds("42") == [("number", "42")]
+    assert kinds("3.14") == [("number", "3.14")]
+    assert kinds("1e3") == [("number", "1e3")]
+    assert kinds(".5") == [("number", ".5")]
+
+
+def test_tokenize_identifiers_and_keywords():
+    assert kinds("Memory") == [("ident", "Memory")]
+    assert kinds("TRUE false") == [("keyword", "TRUE"), ("keyword", "false")]
+    assert kinds("UNDEFINED") == [("keyword", "UNDEFINED")]
+
+
+def test_tokenize_operators_greedy():
+    assert kinds("=?=") == [("op", "=?=")]
+    assert kinds("=!=") == [("op", "=!=")]
+    assert kinds("<=") == [("op", "<=")]
+    assert kinds("a<=b") == [("ident", "a"), ("op", "<="), ("ident", "b")]
+    assert kinds("&&||") == [("op", "&&"), ("op", "||")]
+
+
+def test_tokenize_string_with_escapes():
+    tokens = tokenize(r'"a\"b\n"')
+    assert tokens[0].kind == "string"
+    assert tokens[0].value == 'a"b\n'
+
+
+def test_tokenize_unterminated_string_raises():
+    with pytest.raises(ClassAdSyntaxError):
+        tokenize('"never closed')
+
+
+def test_tokenize_dangling_escape_raises():
+    with pytest.raises(ClassAdSyntaxError):
+        tokenize('"bad\\')
+
+
+def test_tokenize_unknown_character_raises():
+    with pytest.raises(ClassAdSyntaxError):
+        tokenize("a @ b")
+
+
+def test_tokenize_eof_token_present():
+    tokens = tokenize("x")
+    assert tokens[-1].kind == "eof"
+
+
+def test_tokens_carry_positions():
+    tokens = tokenize("abc + def")
+    assert tokens[0].position == 0
+    assert tokens[1].position == 4
+    assert tokens[2].position == 6
+
+
+def test_iter_statements_splits_on_newlines_and_semicolons():
+    source = "a = 1\nb = 2; c = 3"
+    assert list(iter_statements(source)) == ["a = 1", "b = 2", "c = 3"]
+
+
+def test_iter_statements_skips_blanks_and_comments():
+    source = "\n# comment\na = 1\n\n"
+    assert list(iter_statements(source)) == ["a = 1"]
+
+
+def test_iter_statements_respects_strings():
+    source = 'msg = "one; two\\" three"\nnext = 1'
+    statements = list(iter_statements(source))
+    assert len(statements) == 2
+    assert statements[0].startswith("msg")

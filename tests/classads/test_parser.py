@@ -1,0 +1,153 @@
+"""Unit tests for the ClassAd parser."""
+
+import pytest
+
+from repro.classads.ast import AttrRef, BinaryOp, FuncCall, ListExpr, Literal, Ternary, UnaryOp
+from repro.classads.lexer import ClassAdSyntaxError
+from repro.classads.parser import parse
+from repro.classads.values import ERROR, UNDEFINED
+
+
+def test_parse_integer_and_real_literals():
+    assert parse("42") == Literal(42)
+    assert parse("3.5") == Literal(3.5)
+    assert parse("1e2") == Literal(100.0)
+
+
+def test_parse_boolean_and_abnormal_literals():
+    assert parse("TRUE") == Literal(True)
+    assert parse("False") == Literal(False)
+    assert parse("UNDEFINED") == Literal(UNDEFINED)
+    assert parse("ERROR") == Literal(ERROR)
+
+
+def test_parse_string_literal():
+    assert parse('"LINUX"') == Literal("LINUX")
+
+
+def test_parse_attribute_reference():
+    assert parse("Memory") == AttrRef("Memory")
+
+
+def test_parse_scoped_references():
+    assert parse("MY.Memory") == AttrRef("Memory", scope="my")
+    assert parse("TARGET.OpSys") == AttrRef("OpSys", scope="target")
+    assert parse("my . Disk") == AttrRef("Disk", scope="my")
+
+
+def test_scope_fold_does_not_touch_strings():
+    expr = parse('"my.Memory"')
+    assert expr == Literal("my.Memory")
+
+
+def test_parse_precedence_mul_over_add():
+    expr = parse("1 + 2 * 3")
+    assert isinstance(expr, BinaryOp) and expr.op == "+"
+    assert expr.right == BinaryOp("*", Literal(2), Literal(3))
+
+
+def test_parse_precedence_comparison_over_and():
+    expr = parse("a < 3 && b > 4")
+    assert isinstance(expr, BinaryOp) and expr.op == "&&"
+    assert expr.left.op == "<"
+    assert expr.right.op == ">"
+
+
+def test_parse_and_binds_tighter_than_or():
+    expr = parse("a || b && c")
+    assert expr.op == "||"
+    assert expr.right.op == "&&"
+
+
+def test_parse_parentheses_override():
+    expr = parse("(1 + 2) * 3")
+    assert expr.op == "*"
+    assert expr.left.op == "+"
+
+
+def test_parse_unary_operators():
+    assert parse("-x") == UnaryOp("-", AttrRef("x"))
+    assert parse("!done") == UnaryOp("!", AttrRef("done"))
+    assert parse("--3") == UnaryOp("-", UnaryOp("-", Literal(3)))
+
+
+def test_parse_ternary():
+    expr = parse("a > 1 ? 10 : 20")
+    assert isinstance(expr, Ternary)
+    assert expr.then == Literal(10)
+    assert expr.otherwise == Literal(20)
+
+
+def test_parse_nested_ternary_right_associative():
+    expr = parse("a ? 1 : b ? 2 : 3")
+    assert isinstance(expr.otherwise, Ternary)
+
+
+def test_parse_meta_equality_operators():
+    assert parse("x =?= UNDEFINED").op == "=?="
+    assert parse("x =!= 3").op == "=!="
+
+
+def test_parse_is_isnt_keywords():
+    assert parse("x is UNDEFINED").op == "=?="
+    assert parse("x isnt ERROR").op == "=!="
+
+
+def test_parse_function_call():
+    expr = parse("floor(3.7)")
+    assert expr == FuncCall("floor", (Literal(3.7),))
+
+
+def test_parse_function_call_multiple_args():
+    expr = parse('stringListMember("a", "a,b,c")')
+    assert expr.name == "stringlistmember"
+    assert len(expr.args) == 2
+
+
+def test_parse_function_call_no_args():
+    assert parse("foo()") == FuncCall("foo", ())
+
+
+def test_parse_list_literal():
+    expr = parse("{1, 2, 3}")
+    assert expr == ListExpr((Literal(1), Literal(2), Literal(3)))
+    assert parse("{}") == ListExpr(())
+
+
+def test_parse_left_associativity():
+    expr = parse("10 - 4 - 3")
+    assert expr.op == "-"
+    assert expr.left == BinaryOp("-", Literal(10), Literal(4))
+
+
+def test_parse_realistic_requirements():
+    expr = parse('(Arch == "INTEL") && (OpSys == "LINUX") && Memory >= 64')
+    assert isinstance(expr, BinaryOp)
+    assert expr.op == "&&"
+
+
+def test_parse_trailing_garbage_raises():
+    with pytest.raises(ClassAdSyntaxError):
+        parse("1 + 2 extra")
+
+
+def test_parse_unbalanced_paren_raises():
+    with pytest.raises(ClassAdSyntaxError):
+        parse("(1 + 2")
+
+
+def test_parse_bare_keyword_scope_raises():
+    with pytest.raises(ClassAdSyntaxError):
+        parse("my && 1")
+
+
+def test_parse_empty_input_raises():
+    with pytest.raises(ClassAdSyntaxError):
+        parse("")
+
+
+def test_parse_str_round_trip():
+    text = "(Memory >= 64) && (Arch == \"INTEL\")"
+    expr = parse(text)
+    reparsed = parse(str(expr))
+    assert reparsed == expr

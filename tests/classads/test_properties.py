@@ -1,0 +1,160 @@
+"""Property-based tests for the ClassAd language.
+
+These exercise invariants over randomly generated expressions and values:
+parser/printer round-trips, evaluation totality (no crashes, always a
+value), and the algebraic laws of the three-valued logic.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.classads import ClassAd, parse
+from repro.classads.ast import BinaryOp, Literal
+from repro.classads.evaluate import Environment, evaluate
+from repro.classads.values import (
+    ERROR,
+    UNDEFINED,
+    is_abnormal,
+    is_true,
+    value_repr,
+    values_identical,
+)
+
+# ----------------------------------------------------------------------
+# value strategies
+# ----------------------------------------------------------------------
+scalars = st.one_of(
+    st.booleans(),
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=12),
+    st.just(UNDEFINED),
+    st.just(ERROR),
+)
+
+#: Binary operators of the language, all total.
+operators = st.sampled_from(
+    ["+", "-", "*", "/", "%", "<", "<=", ">", ">=", "==", "!=", "&&", "||", "=?=", "=!="]
+)
+
+
+@st.composite
+def expressions(draw, depth=3):
+    """Random expression trees over literals."""
+    if depth == 0 or draw(st.booleans()):
+        return Literal(draw(scalars))
+    op = draw(operators)
+    left = draw(expressions(depth=depth - 1))
+    right = draw(expressions(depth=depth - 1))
+    return BinaryOp(op, left, right)
+
+
+EMPTY_ENV = Environment(ClassAd())
+
+
+@given(expressions())
+@settings(max_examples=300)
+def test_evaluation_is_total(expr):
+    """Evaluation never raises: every tree produces some ClassAd value."""
+    value = evaluate(expr, Environment(ClassAd()))
+    assert isinstance(value, (bool, int, float, str, list)) or is_abnormal(value)
+
+
+@given(scalars)
+def test_value_repr_round_trips_scalars(value):
+    """Printing a value and re-parsing it evaluates back to the same value.
+
+    (Negative numbers re-parse as unary minus applied to a literal, so the
+    comparison is on evaluated values, not tree shape.)
+    """
+    rendered = value_repr(value)
+    reparsed = evaluate(parse(rendered), Environment(ClassAd()))
+    assert values_identical(reparsed, value)
+
+
+@given(scalars)
+def test_meta_equality_is_reflexive(value):
+    assert values_identical(value, value)
+
+
+@given(scalars, scalars)
+def test_meta_equality_is_symmetric(a, b):
+    assert values_identical(a, b) == values_identical(b, a)
+
+
+@given(expressions(), expressions())
+@settings(max_examples=200)
+def test_and_is_commutative_for_normal_operands(a, b):
+    """a && b == b && a whenever neither side is abnormal.
+
+    (With abnormal operands the result value is still equal — FALSE wins
+    over both UNDEFINED and ERROR, ERROR over UNDEFINED — so commutativity
+    holds for the full logic.)
+    """
+    forward = evaluate(BinaryOp("&&", a, b), Environment(ClassAd()))
+    backward = evaluate(BinaryOp("&&", b, a), Environment(ClassAd()))
+    assert values_identical(forward, backward)
+
+
+@given(expressions(), expressions())
+@settings(max_examples=200)
+def test_or_is_commutative(a, b):
+    forward = evaluate(BinaryOp("||", a, b), Environment(ClassAd()))
+    backward = evaluate(BinaryOp("||", b, a), Environment(ClassAd()))
+    assert values_identical(forward, backward)
+
+
+@given(expressions())
+@settings(max_examples=200)
+def test_demorgan_not_and(expr):
+    """!(a && a) === !a || !a (three-valued De Morgan instance)."""
+    env = Environment(ClassAd())
+    lhs = evaluate(parse(f"!(({expr}) && ({expr}))"), env)
+    rhs = evaluate(parse(f"!({expr}) || !({expr})"), env)
+    assert values_identical(lhs, rhs)
+
+
+@given(expressions())
+@settings(max_examples=150)
+def test_parse_str_round_trip_preserves_value(expr):
+    """str() output re-parses to a tree with the same evaluation."""
+    env = Environment(ClassAd())
+    direct = evaluate(expr, env)
+    reparsed = evaluate(parse(str(expr)), env)
+    assert values_identical(direct, reparsed)
+
+
+@given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+def test_integer_division_matches_c_semantics(a, b):
+    """Truncating division: (a/b)*b + a%b == a for nonzero b."""
+    env = Environment(ClassAd())
+    if b == 0:
+        assert is_abnormal(evaluate(parse(f"({a}) / ({b})"), env))
+        return
+    quotient = evaluate(parse(f"({a}) / ({b})"), env)
+    remainder = evaluate(parse(f"({a}) % ({b})"), env)
+    assert quotient * b + remainder == a
+
+
+@given(st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=20))
+def test_string_literals_round_trip_through_lexer(text):
+    rendered = value_repr(text)
+    expr = parse(rendered)
+    assert isinstance(expr, Literal)
+    assert expr.value == text
+
+
+@given(st.dictionaries(
+    st.from_regex(r"[A-Za-z][A-Za-z0-9_]{0,8}", fullmatch=True),
+    st.integers(-100, 100),
+    max_size=6,
+))
+def test_classad_unparse_round_trip(attrs):
+    # Attribute names are case-insensitive; keep one spelling per name.
+    unique = {}
+    for name, value in attrs.items():
+        unique.setdefault(name.lower(), (name, value))
+    attrs = dict(unique.values())
+    ad = ClassAd(attrs)
+    reparsed = ClassAd.parse(ad.unparse())
+    for name, value in attrs.items():
+        assert reparsed.get(name) == value

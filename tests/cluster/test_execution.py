@@ -1,0 +1,184 @@
+"""Unit tests for the execution-environment model (drops, timeouts)."""
+
+import pytest
+
+from repro.cluster import ExecutionModel, JobSpec, PhysicalNode, RELIABLE_EXECUTION, VmState
+from repro.sim import Simulator
+
+
+def cpu_only_model(**kwargs):
+    """A deterministic model with no disk component for exact timings."""
+    defaults = dict(
+        setup_cpu_seconds=1.0,
+        setup_disk_seconds=0.0,
+        teardown_cpu_seconds=0.5,
+        teardown_disk_seconds=0.0,
+        timeout_seconds=100.0,
+        jitter_fraction=0.0,
+        heavy_tail_prob=0.0,
+    )
+    defaults.update(kwargs)
+    return ExecutionModel(**defaults)
+
+
+def run_one(model, job, node=None, sim=None):
+    sim = sim or Simulator()
+    node = node or PhysicalNode(sim, "n0", cores=1, vm_count=1)
+    vm = node.vms[0]
+    process = sim.spawn(model.run_job(sim, vm, job))
+    sim.run()
+    assert process.error is None
+    return sim, vm, process.result
+
+
+def test_successful_run_produces_outcome():
+    model = cpu_only_model()
+    sim, vm, outcome = run_one(model, JobSpec(run_seconds=10.0))
+    assert outcome.ok
+    assert outcome.reason == ""
+    assert vm.state == VmState.IDLE
+    assert vm.jobs_completed == 1
+    assert vm.jobs_dropped == 0
+    # setup 1.0 + run 10.0 + teardown 0.5
+    assert sim.now == pytest.approx(11.5)
+
+
+def test_disk_component_adds_elapsed_time():
+    model = cpu_only_model(setup_disk_seconds=2.0, teardown_disk_seconds=1.0)
+    sim, _, outcome = run_one(model, JobSpec(run_seconds=10.0))
+    assert outcome.ok
+    # setup 1.0 cpu + 2.0 disk + run 10.0 + teardown 0.5 cpu + 1.0 disk
+    assert sim.now == pytest.approx(14.5)
+
+
+def test_slow_node_stretches_cpu_not_disk():
+    sim = Simulator()
+    node = PhysicalNode(sim, "slow", cores=1, speed=0.5, vm_count=1)
+    model = cpu_only_model(setup_cpu_seconds=1.0, setup_disk_seconds=1.0,
+                           teardown_cpu_seconds=0.0)
+    _, _, outcome = run_one(model, JobSpec(run_seconds=5.0), node=node, sim=sim)
+    assert outcome.ok
+    # cpu setup doubled by speed (2.0), disk unaffected (1.0), run 5.0
+    assert sim.now == pytest.approx(8.0)
+
+
+def test_setup_timeout_drops_job():
+    # Timeout shorter than the (uncontended) setup time guarantees a drop.
+    model = cpu_only_model(setup_cpu_seconds=5.0, timeout_seconds=1.0,
+                           teardown_cpu_seconds=0.0)
+    sim, vm, outcome = run_one(model, JobSpec(run_seconds=10.0))
+    assert not outcome.ok
+    assert outcome.reason == "setup-timeout"
+    assert vm.jobs_dropped == 1
+    assert vm.jobs_completed == 0
+    assert vm.state == VmState.IDLE
+    # The job body never ran: only the setup time elapsed.
+    assert sim.now == pytest.approx(5.0)
+
+
+def test_cpu_contention_between_vms_causes_timeout():
+    """Two VMs on one core: the second setup queues and exceeds timeout."""
+    sim = Simulator()
+    node = PhysicalNode(sim, "n0", cores=1, vm_count=2)
+    model = cpu_only_model(setup_cpu_seconds=3.0, timeout_seconds=4.0,
+                           teardown_cpu_seconds=0.0)
+    processes = [
+        sim.spawn(model.run_job(sim, vm, JobSpec(run_seconds=60.0)))
+        for vm in node.vms
+    ]
+    sim.run()
+    outcomes = [p.result for p in processes]
+    # First VM sets up in 3 s (ok); second waits 3 s then works 3 s = 6 s > 4 s.
+    assert outcomes[0].ok
+    assert not outcomes[1].ok
+
+
+def test_disk_contention_affects_dual_core_nodes():
+    """Dual cores do not help when the single disk arm is the bottleneck."""
+    sim = Simulator()
+    node = PhysicalNode(sim, "n0", cores=2, vm_count=2)
+    model = cpu_only_model(setup_cpu_seconds=0.1, setup_disk_seconds=3.0,
+                           timeout_seconds=4.0, teardown_cpu_seconds=0.0)
+    processes = [
+        sim.spawn(model.run_job(sim, vm, JobSpec(run_seconds=60.0)))
+        for vm in node.vms
+    ]
+    sim.run()
+    outcomes = [p.result for p in processes]
+    # CPU phases run in parallel, but disk serialises: 0.1+3 vs 0.1+3+3.
+    assert outcomes[0].ok
+    assert not outcomes[1].ok
+
+
+def test_dual_core_node_avoids_cpu_contention():
+    sim = Simulator()
+    node = PhysicalNode(sim, "n0", cores=2, vm_count=2)
+    model = cpu_only_model(setup_cpu_seconds=3.0, timeout_seconds=4.0,
+                           teardown_cpu_seconds=0.0)
+    processes = [
+        sim.spawn(model.run_job(sim, vm, JobSpec(run_seconds=1.0)))
+        for vm in node.vms
+    ]
+    sim.run()
+    assert all(p.result.ok for p in processes)
+
+
+def test_heavy_tail_inflates_some_setups():
+    """With tail probability 1 every setup pays the multiplier."""
+    model = cpu_only_model(setup_disk_seconds=1.0, heavy_tail_prob=1.0,
+                           heavy_tail_factor=5.0, teardown_cpu_seconds=0.0)
+    sim, _, outcome = run_one(model, JobSpec(run_seconds=1.0))
+    assert outcome.ok
+    # setup 1.0 cpu + 5.0 disk + run 1.0
+    assert sim.now == pytest.approx(7.0)
+
+
+def test_vm_state_transitions_during_run():
+    sim = Simulator()
+    node = PhysicalNode(sim, "n0", cores=1, vm_count=1)
+    vm = node.vms[0]
+    model = cpu_only_model(setup_cpu_seconds=2.0, teardown_cpu_seconds=1.0)
+    sim.spawn(model.run_job(sim, vm, JobSpec(run_seconds=10.0)))
+    sim.run(until=1.0)
+    assert vm.state == VmState.CLAIMING
+    sim.run(until=5.0)
+    assert vm.state == VmState.BUSY
+    sim.run()
+    assert vm.state == VmState.IDLE
+
+
+def test_jitter_is_deterministic_per_seed():
+    model = ExecutionModel(setup_cpu_seconds=1.0, jitter_fraction=0.5,
+                           setup_disk_seconds=0.0, teardown_disk_seconds=0.0,
+                           teardown_cpu_seconds=0.0, timeout_seconds=100.0,
+                           heavy_tail_prob=0.0)
+
+    def total_time(seed):
+        sim = Simulator(seed=seed)
+        node = PhysicalNode(sim, "n0", cores=1, vm_count=1)
+        sim.spawn(model.run_job(sim, node.vms[0], JobSpec(run_seconds=1.0)))
+        sim.run()
+        return sim.now
+
+    assert total_time(1) == total_time(1)
+    assert total_time(1) != total_time(2)
+
+
+def test_reliable_execution_never_drops():
+    sim = Simulator()
+    node = PhysicalNode(sim, "n0", cores=1, vm_count=4)
+    processes = [
+        sim.spawn(RELIABLE_EXECUTION.run_job(sim, vm, JobSpec(run_seconds=1.0)))
+        for vm in node.vms
+    ]
+    sim.run()
+    assert all(p.result.ok for p in processes)
+
+
+def test_outcome_carries_identifiers():
+    model = RELIABLE_EXECUTION
+    job = JobSpec(run_seconds=2.0)
+    _, vm, outcome = run_one(model, job)
+    assert outcome.job_id == job.job_id
+    assert outcome.vm_id == vm.vm_id
+    assert outcome.end_time > outcome.start_time

@@ -1,0 +1,68 @@
+"""Unit tests for job specs and records."""
+
+import pytest
+
+from repro.cluster import JobRecord, JobSpec, JobState, next_job_id
+
+
+def test_job_ids_unique_and_increasing():
+    first = next_job_id()
+    second = next_job_id()
+    assert second == first + 1
+    a, b = JobSpec(), JobSpec()
+    assert a.job_id != b.job_id
+
+
+def test_spec_defaults():
+    spec = JobSpec()
+    assert spec.run_seconds == 60.0
+    assert spec.owner == "user"
+    assert spec.depends_on == ()
+
+
+def test_spec_rejects_nonpositive_runtime():
+    with pytest.raises(ValueError):
+        JobSpec(run_seconds=0.0)
+    with pytest.raises(ValueError):
+        JobSpec(run_seconds=-5.0)
+
+
+def test_spec_rejects_negative_image():
+    with pytest.raises(ValueError):
+        JobSpec(image_size_mb=-1)
+
+
+def test_record_starts_idle():
+    record = JobRecord(JobSpec())
+    assert record.state == JobState.IDLE
+    assert record.start_time is None
+    assert record.attempts == 0
+
+
+def test_record_lifecycle_success():
+    record = JobRecord(JobSpec(run_seconds=10.0))
+    record.mark_started(5.0, "vm0@node000")
+    assert record.state == JobState.RUNNING
+    assert record.start_time == 5.0
+    assert record.vm_id == "vm0@node000"
+    assert record.attempts == 1
+    record.mark_completed(15.0)
+    assert record.state == JobState.COMPLETED
+    assert record.end_time == 15.0
+
+
+def test_record_drop_returns_to_idle():
+    record = JobRecord(JobSpec())
+    record.mark_started(1.0, "vm")
+    record.mark_dropped()
+    assert record.state == JobState.IDLE
+    assert record.drops == 1
+    assert record.start_time is None
+    assert record.vm_id is None
+    record.mark_started(9.0, "vm2")
+    assert record.attempts == 2
+
+
+def test_record_job_id_shortcut():
+    spec = JobSpec()
+    assert JobRecord(spec).job_id == spec.job_id

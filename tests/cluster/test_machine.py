@@ -1,0 +1,67 @@
+"""Unit tests for the physical/virtual machine model."""
+
+import pytest
+
+from repro.cluster import PhysicalNode, VmState
+from repro.sim import Simulator
+
+
+def make_node(**kwargs):
+    sim = Simulator()
+    defaults = dict(cores=2, speed=1.0, memory_mb=512.0, vm_count=4)
+    defaults.update(kwargs)
+    return PhysicalNode(sim, "node000", **defaults)
+
+
+def test_node_creates_requested_vms():
+    node = make_node(vm_count=4)
+    assert node.vm_count == 4
+    assert len(node.vms) == 4
+
+
+def test_vm_ids_are_slot_names():
+    node = make_node(vm_count=2)
+    assert node.vms[0].vm_id == "vm0@node000"
+    assert node.vms[1].vm_id == "vm1@node000"
+    assert node.vms[0].name == node.vms[0].vm_id
+
+
+def test_vms_start_idle():
+    node = make_node()
+    assert all(vm.state == VmState.IDLE for vm in node.vms)
+    assert len(node.idle_vms()) == node.vm_count
+
+
+def test_idle_vms_excludes_busy():
+    node = make_node()
+    node.vms[0].state = VmState.BUSY
+    node.vms[1].state = VmState.CLAIMING
+    assert len(node.idle_vms()) == 2
+
+
+def test_zero_vms_rejected():
+    with pytest.raises(ValueError):
+        make_node(vm_count=0)
+
+
+def test_dropped_any_tracks_vm_counters():
+    node = make_node()
+    assert not node.dropped_any()
+    node.vms[2].jobs_dropped = 1
+    assert node.dropped_any()
+
+
+def test_describe_reports_reboot_invariant_attributes():
+    node = make_node(cores=2, memory_mb=256.0)
+    description = node.describe()
+    assert description["name"] == "node000"
+    assert description["arch"] == "INTEL"
+    assert description["opsys"] == "LINUX"
+    assert description["cores"] == 2
+    assert description["memory_mb"] == 256.0
+    assert description["vm_count"] == 4
+
+
+def test_cores_property_reflects_host():
+    assert make_node(cores=1).cores == 1
+    assert make_node(cores=2).cores == 2

@@ -1,0 +1,79 @@
+"""Unit tests for cluster construction."""
+
+import pytest
+
+from repro.cluster import (
+    ClusterSpec,
+    all_vms,
+    build_cluster,
+    large_cluster_testbed,
+    mixed_workload_testbed,
+    throughput_testbed,
+)
+from repro.sim import Simulator
+
+
+def test_build_cluster_node_and_vm_counts():
+    sim = Simulator()
+    spec = ClusterSpec(physical_nodes=10, vms_per_node=3)
+    nodes = build_cluster(sim, spec)
+    assert len(nodes) == 10
+    assert all(node.vm_count == 3 for node in nodes)
+    assert len(list(all_vms(nodes))) == 30
+
+
+def test_total_vms_matches_spec():
+    assert ClusterSpec(physical_nodes=45, vms_per_node=4).total_vms() == 180
+
+
+def test_core_mix_respects_fraction_roughly():
+    sim = Simulator(seed=3)
+    spec = ClusterSpec(physical_nodes=200, vms_per_node=1, dual_core_fraction=0.4)
+    nodes = build_cluster(sim, spec)
+    dual = sum(1 for node in nodes if node.cores == 2)
+    assert 0.25 <= dual / len(nodes) <= 0.55
+
+
+def test_all_single_core_when_fraction_zero():
+    sim = Simulator()
+    nodes = build_cluster(sim, ClusterSpec(physical_nodes=20, vms_per_node=1,
+                                           dual_core_fraction=0.0))
+    assert all(node.cores == 1 for node in nodes)
+
+
+def test_speed_jitter_bounded():
+    sim = Simulator()
+    spec = ClusterSpec(physical_nodes=50, vms_per_node=1,
+                       base_speed=1.0, speed_jitter=0.15)
+    nodes = build_cluster(sim, spec)
+    assert all(0.85 <= node.host.speed <= 1.15 for node in nodes)
+
+
+def test_no_jitter_means_exact_speed():
+    sim = Simulator()
+    nodes = build_cluster(sim, ClusterSpec(physical_nodes=5, vms_per_node=1,
+                                           speed_jitter=0.0, base_speed=2.0))
+    assert all(node.host.speed == 2.0 for node in nodes)
+
+
+def test_deterministic_given_seed():
+    def fingerprint(seed):
+        sim = Simulator(seed=seed)
+        nodes = build_cluster(sim, ClusterSpec(physical_nodes=30, vms_per_node=1))
+        return [(node.cores, round(node.host.speed, 9)) for node in nodes]
+
+    assert fingerprint(7) == fingerprint(7)
+    assert fingerprint(7) != fingerprint(8)
+
+
+def test_paper_testbeds_match_section_5():
+    assert throughput_testbed().total_vms() == 180
+    assert large_cluster_testbed().total_vms() == 10000
+    assert mixed_workload_testbed().total_vms() == 540
+
+
+def test_node_names_are_unique():
+    sim = Simulator()
+    nodes = build_cluster(sim, ClusterSpec(physical_nodes=25, vms_per_node=2))
+    names = {node.name for node in nodes}
+    assert len(names) == 25

@@ -1,0 +1,220 @@
+"""Unit tests for collector, negotiator, schedd and master behaviour."""
+
+import pytest
+
+from repro.classads import ClassAd
+from repro.cluster import ClusterSpec
+from repro.condor import CondorConfig, CondorPool
+from repro.condor.collector import Collector
+from repro.sim import Simulator, Wait
+from repro.sim.cpu import quad_xeon
+from repro.sim.network import Network
+
+
+def small_pool(**kwargs):
+    defaults = dict(
+        cluster=ClusterSpec(physical_nodes=2, vms_per_node=2, dual_core_fraction=0.0,
+                            speed_jitter=0.0),
+        seed=7,
+    )
+    defaults.update(kwargs)
+    return CondorPool(**defaults)
+
+
+# ----------------------------------------------------------------------
+# collector
+# ----------------------------------------------------------------------
+def test_collector_absorbs_and_serves_ads():
+    sim = Simulator()
+    net = Network(sim)
+    collector = Collector(sim, quad_xeon(sim), net)
+
+    class Sender:
+        entity_kind = "startd"
+        address = "s"
+        def on_message(self, m): pass
+        def handle_request(self, m):
+            yield from ()
+
+    sender = Sender()
+    net.register(sender)
+    ad = ClassAd({"Name": "vm0@n", "State": "Unclaimed"})
+    net.send(sender, "collector", "startd_ad", payload=ad)
+    sim.run()
+    assert collector.startd_ads["vm0@n"] is ad
+    assert collector.updates_received == 1
+
+
+def test_collector_invalidation():
+    sim = Simulator()
+    net = Network(sim)
+    collector = Collector(sim, quad_xeon(sim), net)
+    collector.startd_ads["vm0@n"] = ClassAd({"Name": "vm0@n"})
+
+    class Sender:
+        entity_kind = "startd"
+        address = "s"
+        def on_message(self, m): pass
+        def handle_request(self, m):
+            yield from ()
+
+    sender = Sender()
+    net.register(sender)
+    net.send(sender, "collector", "invalidate_startd",
+             payload=ClassAd({"Name": "vm0@n"}))
+    sim.run()
+    assert "vm0@n" not in collector.startd_ads
+
+
+def test_collector_crash_loses_state_then_rebuilds():
+    pool = small_pool()
+    pool.start()
+    pool.sim.run(until=5.0)
+    assert len(pool.collector.startd_ads) == 4
+    pool.collector.crash()
+    assert len(pool.collector.startd_ads) == 0
+    # Ads rebuild as periodic updates arrive.
+    pool.sim.run(until=5.0 + pool.config.startd_update_interval_seconds + 5.0)
+    assert len(pool.collector.startd_ads) == 4
+
+
+# ----------------------------------------------------------------------
+# schedd
+# ----------------------------------------------------------------------
+def test_schedd_accepts_submissions_and_logs_them():
+    pool = small_pool()
+    from repro.workload import fixed_length_batch
+
+    pool.submit_at(0.0, fixed_length_batch(3, 30.0))
+    pool.run_for(5.0)
+    schedd = pool.schedds[0]
+    assert schedd.queue_length == 3
+    assert schedd.idle_count() == 3
+    assert len(schedd.job_log) == 3
+
+
+def test_schedd_throttle_paces_starts():
+    config = CondorConfig(job_throttle_per_second=0.5)
+    pool = small_pool(config=config)
+    from repro.workload import fixed_length_batch
+
+    pool.submit_at(0.0, fixed_length_batch(4, 300.0))
+    pool.run_for(60.0)
+    starts = pool.start_times()
+    assert len(starts) == 4
+    gaps = [b - a for a, b in zip(starts, starts[1:])]
+    assert all(gap >= 2.0 - 1e-6 for gap in gaps)
+
+
+def test_schedd_max_jobs_running_cap():
+    config = CondorConfig(job_throttle_per_second=10.0, max_jobs_running=2)
+    pool = small_pool(config=config)
+    from repro.workload import fixed_length_batch
+
+    pool.submit_at(0.0, fixed_length_batch(10, 600.0))
+    pool.run_for(120.0)
+    assert pool.total_running() <= 2
+
+
+def test_schedd_ad_reports_queue_depths():
+    pool = small_pool()
+    from repro.workload import fixed_length_batch
+
+    pool.submit_at(0.0, fixed_length_batch(5, 600.0))
+    pool.run_for(40.0)
+    ad = pool.schedds[0].schedd_ad()
+    assert ad.get("IdleJobs") + ad.get("RunningJobs") == 5
+
+
+def test_schedd_crash_and_recovery_from_log():
+    pool = small_pool(master_restart=True)
+    from repro.workload import fixed_length_batch
+
+    pool.submit_at(0.0, fixed_length_batch(6, 3000.0))
+    pool.run_for(30.0)
+    schedd = pool.schedds[0]
+    running_before = schedd.running_count
+    assert running_before > 0
+    schedd._crash("injected failure")
+    assert schedd.crashed
+    assert len(schedd.shadows) == 0
+    # The master notices and restarts it; the queue is rebuilt from the log.
+    pool.run_for(120.0)
+    assert not schedd.crashed
+    assert schedd.queue_length == 6  # nothing lost (transactional log)
+
+
+def test_memory_freed_when_shadows_reaped():
+    pool = small_pool()
+    from repro.workload import fixed_length_batch
+
+    host = pool.server_host
+    base = host.memory_used_mb
+    pool.submit_at(0.0, fixed_length_batch(4, 30.0))
+    end = pool.run_until_complete(expected_jobs=4, max_seconds=600.0)
+    assert pool.completed_count() == 4
+    # All shadow and queue memory returned; only the per-completion
+    # history retention (section 5.3.2's mechanism) remains.
+    retained = 4 * pool.config.completed_job_memory_mb
+    assert host.memory_used_mb == pytest.approx(base + retained)
+
+
+# ----------------------------------------------------------------------
+# negotiator
+# ----------------------------------------------------------------------
+def test_negotiator_matches_only_unclaimed_vms():
+    pool = small_pool()
+    from repro.workload import fixed_length_batch
+
+    pool.submit_at(0.0, fixed_length_batch(8, 600.0))
+    pool.run_for(60.0)
+    # 4 VMs exist; the schedd should hold at most 4 claims.
+    assert len(pool.schedds[0].claims) <= 4
+    assert pool.total_running() <= 4
+
+
+def test_negotiator_honours_requirements():
+    pool = small_pool()
+    from repro.cluster import JobSpec
+
+    # Jobs that cannot match any machine (impossible memory requirement).
+    jobs = [JobSpec(run_seconds=60.0, requirements="TARGET.Memory >= 10000000")
+            for _ in range(2)]
+    pool.submit_at(0.0, jobs)
+    pool.run_for(60.0)
+    assert pool.total_running() == 0
+    assert pool.completed_count() == 0
+
+
+def test_negotiator_stop_halts_matchmaking():
+    pool = small_pool()
+    from repro.workload import fixed_length_batch
+
+    pool.start()
+    pool.negotiator.stop()
+    pool.submit_at(1.0, fixed_length_batch(2, 30.0))
+    pool.run_for(120.0)
+    assert pool.completed_count() == 0  # no matches without the negotiator
+
+
+# ----------------------------------------------------------------------
+# end-to-end
+# ----------------------------------------------------------------------
+def test_pool_completes_workload():
+    pool = small_pool()
+    from repro.workload import fixed_length_batch
+
+    pool.submit_at(0.0, fixed_length_batch(8, 30.0))
+    end = pool.run_until_complete(expected_jobs=8, max_seconds=1200.0)
+    assert pool.completed_count() == 8
+    assert end < 1200.0
+
+
+def test_multi_schedd_round_robin_submission():
+    pool = small_pool(schedd_count=3)
+    from repro.workload import fixed_length_batch
+
+    pool.submit_round_robin(0.0, fixed_length_batch(9, 30.0))
+    pool.run_for(5.0)
+    queues = [schedd.queue_length for schedd in pool.schedds]
+    assert queues == [3, 3, 3]

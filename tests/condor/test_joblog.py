@@ -1,0 +1,75 @@
+"""Unit tests for the schedd's persistent job log."""
+
+from repro.condor.joblog import JobLog
+
+
+def test_append_and_live_jobs():
+    log = JobLog()
+    log.append("submit", 1, 0.0)
+    log.append("submit", 2, 1.0)
+    log.append("start", 1, 2.0)
+    live = log.live_jobs()
+    assert live == {1: "running", 2: "idle"}
+
+
+def test_complete_removes_from_live():
+    log = JobLog()
+    log.append("submit", 1, 0.0)
+    log.append("start", 1, 1.0)
+    log.append("complete", 1, 2.0)
+    assert log.live_jobs() == {}
+
+
+def test_remove_removes_from_live():
+    log = JobLog()
+    log.append("submit", 1, 0.0)
+    log.append("remove", 1, 1.0)
+    assert log.live_jobs() == {}
+
+
+def test_start_for_unknown_job_ignored():
+    log = JobLog()
+    log.append("start", 42, 0.0)
+    assert log.live_jobs() == {}
+
+
+def test_replay_equals_live_image():
+    log = JobLog()
+    for job_id in range(10):
+        log.append("submit", job_id, float(job_id))
+    for job_id in range(5):
+        log.append("start", job_id, 10.0 + job_id)
+    for job_id in range(3):
+        log.append("complete", job_id, 20.0 + job_id)
+    replayed = log.replay()
+    assert len(replayed) == 7
+    assert replayed[3] == "running"
+    assert replayed[7] == "idle"
+
+
+def test_compaction_drops_dead_records():
+    log = JobLog(compaction_threshold=10)
+    for job_id in range(8):
+        log.append("submit", job_id, 0.0)
+        log.append("complete", job_id, 1.0)
+    # threshold crossed during appends -> compaction ran
+    assert log.compactions >= 1
+    assert len(log.records) < 16
+    assert log.live_jobs() == {}
+
+
+def test_compaction_preserves_live_jobs():
+    log = JobLog(compaction_threshold=5)
+    log.append("submit", 100, 0.0)
+    for job_id in range(10):
+        log.append("submit", job_id, 0.0)
+        log.append("complete", job_id, 1.0)
+    assert 100 in log.live_jobs()
+
+
+def test_appends_counter():
+    log = JobLog()
+    log.append("submit", 1, 0.0)
+    log.append("start", 1, 1.0)
+    assert log.appends == 2
+    assert len(log) == 2

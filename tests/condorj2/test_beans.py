@@ -1,0 +1,224 @@
+"""Unit tests for the entity-bean persistence layer."""
+
+import pytest
+
+from repro.condorj2.beans import (
+    BeanContainer,
+    BeanNotFound,
+    BeanStateError,
+    JobBean,
+    MachineBean,
+    PolicyBean,
+    UserBean,
+    VmBean,
+)
+from repro.condorj2.beans.base import BeanConsistencyError
+from repro.condorj2.database import Database, DatabaseError
+
+
+@pytest.fixture
+def container():
+    return BeanContainer(Database())
+
+
+def make_user(container, name="alice"):
+    return container.create(UserBean, user_name=name, created_at=0.0)
+
+
+def make_job(container, owner="alice", **overrides):
+    make_user(container, owner) if container.find_optional(UserBean, owner) is None else None
+    fields = dict(
+        owner=owner, cmd="/bin/x", state="idle", run_seconds=60.0,
+        submitted_at=0.0, attempts=0,
+    )
+    fields.update(overrides)
+    return container.create(JobBean, **fields)
+
+
+def test_create_and_find_round_trip(container):
+    user = make_user(container)
+    found = container.find(UserBean, "alice")
+    assert found["user_name"] == "alice"
+    assert found.pk_value == user.pk_value
+
+
+def test_find_missing_raises(container):
+    with pytest.raises(BeanNotFound):
+        container.find(UserBean, "nobody")
+    assert container.find_optional(UserBean, "nobody") is None
+
+
+def test_update_writes_through(container):
+    user = make_user(container)
+    user.update(priority=0.25)
+    fresh = container.find(UserBean, "alice")
+    assert fresh["priority"] == 0.25
+
+
+def test_update_unknown_field_rejected(container):
+    user = make_user(container)
+    with pytest.raises(DatabaseError):
+        user.update(bogus_field=1)
+
+
+def test_remove_deletes_tuple(container):
+    user = make_user(container)
+    user.remove()
+    assert container.find_optional(UserBean, "alice") is None
+
+
+def test_refresh_reloads(container):
+    user = make_user(container)
+    container.db.execute(
+        "UPDATE users SET priority = 0.9 WHERE user_name = 'alice'"
+    )
+    user.refresh()
+    assert user["priority"] == 0.9
+
+
+def test_refresh_after_delete_raises(container):
+    user = make_user(container)
+    container.db.execute("DELETE FROM users WHERE user_name = 'alice'")
+    with pytest.raises(BeanNotFound):
+        user.refresh()
+
+
+def test_find_where_and_count(container):
+    make_user(container, "a")
+    make_user(container, "b")
+    beans = container.find_where(UserBean, "user_name != ?", ("a",))
+    assert [b["user_name"] for b in beans] == ["b"]
+    assert container.count_where(UserBean) == 2
+
+
+def test_find_where_order_and_limit(container):
+    for name in ("c", "a", "b"):
+        make_user(container, name)
+    beans = container.find_where(UserBean, "1=1", order_by="user_name", limit=2)
+    assert [b["user_name"] for b in beans] == ["a", "b"]
+
+
+def test_user_charge_usage_accumulates(container):
+    user = make_user(container)
+    user.charge_usage(10.0)
+    user.charge_usage(5.0)
+    assert user["accumulated_usage_seconds"] == 15.0
+
+
+def test_user_negative_charge_rejected(container):
+    user = make_user(container)
+    with pytest.raises(BeanStateError):
+        user.charge_usage(-1.0)
+
+
+def test_user_priority_bounds(container):
+    user = make_user(container)
+    user.set_priority(0.0)
+    user.set_priority(1.0)
+    with pytest.raises(BeanStateError):
+        user.set_priority(1.5)
+
+
+def test_job_legal_lifecycle(container):
+    job = make_job(container)
+    job.mark_matched()
+    job.mark_running()
+    assert job["attempts"] == 1
+    job.mark_completed()
+    fresh = container.find(JobBean, job.pk_value)
+    assert fresh["state"] == "completed"
+
+
+def test_job_illegal_transition_rejected(container):
+    job = make_job(container)
+    with pytest.raises(BeanStateError):
+        job.mark_running()  # idle -> running skips matched
+    job.mark_matched()
+    job.mark_running()
+    with pytest.raises(BeanStateError):
+        job.mark_matched()  # running -> matched is illegal
+
+
+def test_job_drop_cycle(container):
+    job = make_job(container)
+    job.mark_matched()
+    job.mark_running()
+    job.mark_idle_again()
+    assert job["state"] == "idle"
+    job.mark_matched()
+    job.mark_running()
+    assert job["attempts"] == 2
+
+
+def test_job_depends_on_parsing(container):
+    job = make_job(container, depends_on="3,5,9")
+    assert job.depends_on_ids() == [3, 5, 9]
+    lone = make_job(container, depends_on="")
+    assert lone.depends_on_ids() == []
+
+
+def test_job_invariant_rejects_bad_update(container):
+    job = make_job(container)
+    with pytest.raises(BeanConsistencyError):
+        job.update(attempts=-1)
+
+
+def test_machine_heartbeat_and_boot_history(container):
+    machine = container.create(
+        MachineBean, machine_name="m1", cores=2, memory_mb=512, vm_count=4,
+        state="alive", last_heartbeat=0.0, boot_count=0,
+    )
+    machine.record_boot(1.0)
+    machine.record_boot(100.0)
+    assert machine["boot_count"] == 2
+    rows = container.db.query_all(
+        "SELECT * FROM machine_boot_history WHERE machine_name = 'm1'"
+    )
+    assert len(rows) == 2
+    machine.heartbeat(123.0)
+    assert machine["last_heartbeat"] == 123.0
+
+
+def test_machine_missing_transition(container):
+    machine = container.create(
+        MachineBean, machine_name="m1", state="alive", last_heartbeat=0.0,
+    )
+    machine.mark_missing()
+    assert machine["state"] == "missing"
+    with pytest.raises(BeanStateError):
+        machine.mark_missing()
+    machine.heartbeat(5.0)
+    assert machine["state"] == "alive"
+
+
+def test_vm_state_validation(container):
+    container.create(MachineBean, machine_name="m1", last_heartbeat=0.0)
+    vm = container.create(
+        VmBean, vm_id="vm0@m1", machine_name="m1", state="idle", last_update=0.0
+    )
+    vm.set_state("busy", 4.0)
+    assert vm["state"] == "busy"
+    with pytest.raises(BeanStateError):
+        vm.set_state("exploded", 5.0)
+
+
+def test_policy_change_writes_history(container):
+    policy = container.create(
+        PolicyBean, policy_name="p", policy_value="1", scope="pool",
+        updated_at=0.0, updated_by="system",
+    )
+    policy.change_value("2", 10.0, changed_by="admin")
+    policy.change_value("3", 20.0, changed_by="admin")
+    history = container.db.query_all(
+        "SELECT old_value, new_value FROM config_history ORDER BY change_id"
+    )
+    assert [(r["old_value"], r["new_value"]) for r in history] == [("1", "2"), ("2", "3")]
+    assert policy["policy_value"] == "3"
+
+
+def test_container_counts_instantiations(container):
+    make_user(container, "a")
+    before = container.instantiations
+    container.find(UserBean, "a")
+    container.find_where(UserBean, "1=1")
+    assert container.instantiations == before + 2

@@ -1,0 +1,152 @@
+"""Unit tests for the section 6 future-work services."""
+
+import pytest
+
+from repro.condorj2.beans import BeanContainer
+from repro.condorj2.database import Database, DatabaseError
+from repro.condorj2.datamgmt import DatasetService
+from repro.condorj2.provenance import ProvenanceService
+
+
+@pytest.fixture
+def container():
+    return BeanContainer(Database())
+
+
+@pytest.fixture
+def datasets(container):
+    return DatasetService(container, default_k=2)
+
+
+@pytest.fixture
+def provenance(container):
+    return ProvenanceService(container)
+
+
+# ----------------------------------------------------------------------
+# datasets / k-safety
+# ----------------------------------------------------------------------
+def test_register_and_lookup(datasets):
+    dataset_id = datasets.register_dataset("genome.fa", "alice", 512.0, now=1.0)
+    assert datasets.dataset_id("genome.fa") == dataset_id
+    assert datasets.dataset_id("missing") is None
+
+
+def test_duplicate_name_rejected(datasets):
+    datasets.register_dataset("d", "alice", 1.0, now=0.0)
+    with pytest.raises(DatabaseError):
+        datasets.register_dataset("d", "bob", 2.0, now=1.0)
+
+
+def test_k_safety_must_be_positive(datasets):
+    with pytest.raises(DatabaseError):
+        datasets.register_dataset("d", "a", 1.0, now=0.0, k_safety=0)
+
+
+def test_replicas_and_under_replication(datasets):
+    d1 = datasets.register_dataset("d1", "a", 10.0, now=0.0)  # k=2
+    d2 = datasets.register_dataset("d2", "a", 10.0, now=0.0, k_safety=1)
+    datasets.add_replica(d1, "m1", now=1.0)
+    datasets.add_replica(d2, "m2", now=1.0)
+    under = datasets.under_replicated()
+    assert [u["name"] for u in under] == ["d1"]
+    assert under[0]["valid_replicas"] == 1
+    datasets.add_replica(d1, "m3", now=2.0)
+    assert datasets.under_replicated() == []
+
+
+def test_stale_replicas_do_not_count(datasets):
+    d1 = datasets.register_dataset("d1", "a", 10.0, now=0.0)
+    datasets.add_replica(d1, "m1", now=1.0)
+    datasets.add_replica(d1, "m2", now=1.0)
+    assert datasets.under_replicated() == []
+    datasets.invalidate_replica(d1, "m2")
+    assert [u["name"] for u in datasets.under_replicated()] == ["d1"]
+    assert datasets.replica_machines(d1) == ["m1"]
+
+
+def test_repair_plan_avoids_existing_holders(datasets):
+    d1 = datasets.register_dataset("d1", "a", 10.0, now=0.0)
+    datasets.add_replica(d1, "m1", now=1.0)
+    plan = datasets.repair_plan(["m1", "m2", "m3"])
+    assert len(plan) == 1
+    assert plan[0]["target_machine"] in ("m2", "m3")
+    assert plan[0]["source_machines"] == ["m1"]
+
+
+def test_repair_plan_multiple_transfers(datasets):
+    d1 = datasets.register_dataset("d1", "a", 10.0, now=0.0, k_safety=3)
+    datasets.add_replica(d1, "m1", now=1.0)
+    plan = datasets.repair_plan(["m1", "m2", "m3", "m4"])
+    assert len(plan) == 2
+    targets = {p["target_machine"] for p in plan}
+    assert "m1" not in targets
+
+
+def test_placement_query_requires_all_inputs(datasets):
+    d1 = datasets.register_dataset("in1", "a", 1.0, now=0.0)
+    d2 = datasets.register_dataset("in2", "a", 1.0, now=0.0)
+    datasets.add_replica(d1, "m1", now=1.0)
+    datasets.add_replica(d2, "m1", now=1.0)
+    datasets.add_replica(d1, "m2", now=1.0)
+    assert datasets.machines_with_inputs(["in1", "in2"]) == ["m1"]
+    assert datasets.machines_with_inputs(["in1"]) == ["m1", "m2"]
+    assert datasets.machines_with_inputs([]) == []
+
+
+# ----------------------------------------------------------------------
+# provenance
+# ----------------------------------------------------------------------
+def test_record_and_derivation(provenance):
+    provenance.record("out.dat", job_id=7, executable="/bin/sim", now=5.0,
+                      executable_version="2.1", inputs=("a.in", "b.in"),
+                      input_versions=("v1", "v2"))
+    record = provenance.derivation_of("out.dat")
+    assert record["job_id"] == 7
+    assert record["executable"] == "/bin/sim"
+    assert record["executable_version"] == "2.1"
+    assert record["inputs"] == ["a.in", "b.in"]
+    assert record["input_versions"] == ["v1", "v2"]
+
+
+def test_derivation_of_unknown_output(provenance):
+    assert provenance.derivation_of("ghost.dat") is None
+
+
+def test_latest_record_wins(provenance):
+    provenance.record("out", 1, "/bin/v1", now=1.0)
+    provenance.record("out", 2, "/bin/v2", now=2.0)
+    assert provenance.derivation_of("out")["executable"] == "/bin/v2"
+
+
+def test_lineage_walks_ancestry(provenance):
+    provenance.record("raw.norm", 1, "/bin/normalise", now=1.0, inputs=("raw",))
+    provenance.record("model", 2, "/bin/train", now=2.0, inputs=("raw.norm",))
+    provenance.record("report", 3, "/bin/report", now=3.0, inputs=("model",))
+    lineage = provenance.lineage("report")
+    assert [r["output_name"] for r in lineage] == ["report", "model", "raw.norm"]
+
+
+def test_lineage_handles_shared_inputs_once(provenance):
+    provenance.record("a", 1, "/bin/x", now=1.0, inputs=("base",))
+    provenance.record("b", 2, "/bin/x", now=1.0, inputs=("base",))
+    provenance.record("c", 3, "/bin/y", now=2.0, inputs=("a", "b"))
+    provenance.record("base", 0, "/bin/gen", now=0.5)
+    lineage = provenance.lineage("c")
+    names = [r["output_name"] for r in lineage]
+    assert names.count("base") == 1
+    assert set(names) == {"c", "a", "b", "base"}
+
+
+def test_outputs_derived_from(provenance):
+    provenance.record("x1", 1, "/bin/x", now=1.0, inputs=("common", "other"))
+    provenance.record("x2", 2, "/bin/x", now=1.0, inputs=("common",))
+    provenance.record("x3", 3, "/bin/x", now=1.0, inputs=("unrelated",))
+    assert provenance.outputs_derived_from("common") == ["x1", "x2"]
+
+
+def test_executables_used(provenance):
+    provenance.record("o1", 1, "/bin/a", now=1.0)
+    provenance.record("o2", 2, "/bin/b", now=1.0)
+    assert provenance.executables_used([1, 2]) == ["/bin/a", "/bin/b"]
+    assert provenance.executables_used([]) == []

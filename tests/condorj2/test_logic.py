@@ -1,0 +1,397 @@
+"""Unit tests for the application-logic layer services."""
+
+import pytest
+
+from repro.cluster import JobSpec
+from repro.condorj2.beans import BeanContainer, BeanStateError
+from repro.condorj2.beans.base import BeanNotFound
+from repro.condorj2.database import Database
+from repro.condorj2.logic import (
+    ConfigService,
+    HeartbeatService,
+    LifecycleService,
+    ReportService,
+    SchedulingService,
+    SubmissionService,
+)
+
+
+@pytest.fixture
+def services():
+    container = BeanContainer(Database())
+    submission = SubmissionService(container)
+    scheduling = SchedulingService(container)
+    lifecycle = LifecycleService(container)
+    heartbeat = HeartbeatService(container, scheduling, lifecycle)
+    reports = ReportService(container.db)
+    config = ConfigService(container)
+    return container, submission, scheduling, lifecycle, heartbeat, reports, config
+
+
+def register_machine(heartbeat, name="m1", vm_count=2, now=0.0):
+    heartbeat.register_machine(
+        {"name": name, "arch": "INTEL", "opsys": "LINUX", "cores": 1,
+         "memory_mb": 512, "vm_count": vm_count},
+        now,
+    )
+
+
+# ----------------------------------------------------------------------
+# submission
+# ----------------------------------------------------------------------
+def test_submit_job_inserts_tuple(services):
+    container, submission, *_ = services
+    job_id = submission.submit_job(JobSpec(owner="alice", run_seconds=30.0), now=1.0)
+    row = container.db.query_one("SELECT * FROM jobs WHERE job_id = ?", (job_id,))
+    assert row["owner"] == "alice"
+    assert row["state"] == "idle"
+    assert container.db.table_count("users") == 1
+
+
+def test_submit_jobs_batch(services):
+    container, submission, *_ = services
+    ids = submission.submit_jobs([JobSpec(), JobSpec(), JobSpec()], now=0.0)
+    assert len(ids) == 3
+    assert container.db.table_count("jobs") == 3
+
+
+def test_submit_workflow_links_members(services):
+    container, submission, *_ = services
+    specs = [JobSpec(owner="w"), JobSpec(owner="w")]
+    wf_id = submission.submit_workflow("etl", "w", specs, now=0.0)
+    rows = container.db.query_all(
+        "SELECT workflow_id FROM jobs WHERE workflow_id = ?", (wf_id,)
+    )
+    assert len(rows) == 2
+
+
+def test_remove_idle_job(services):
+    container, submission, *_ = services
+    job_id = submission.submit_job(JobSpec(), now=0.0)
+    submission.remove_job(job_id)
+    assert container.db.table_count("jobs") == 0
+
+
+def test_remove_running_job_rejected(services):
+    container, submission, scheduling, lifecycle, heartbeat, *_ = services
+    register_machine(heartbeat)
+    job_id = submission.submit_job(JobSpec(), now=0.0)
+    scheduling.run_pass(now=1.0)
+    match = container.db.query_one("SELECT vm_id FROM matches WHERE job_id = ?", (job_id,))
+    lifecycle.accept_match(job_id, match["vm_id"], now=2.0)
+    with pytest.raises(BeanStateError):
+        submission.remove_job(job_id)
+
+
+# ----------------------------------------------------------------------
+# scheduling
+# ----------------------------------------------------------------------
+def test_scheduling_pass_creates_matches(services):
+    container, submission, scheduling, _, heartbeat, *_ = services
+    register_machine(heartbeat, vm_count=2)
+    submission.submit_jobs([JobSpec(), JobSpec(), JobSpec()], now=0.0)
+    created = scheduling.run_pass(now=1.0)
+    assert created == 2  # limited by idle VMs
+    assert container.db.table_count("matches") == 2
+    states = [r["state"] for r in container.db.query_all(
+        "SELECT state FROM jobs ORDER BY job_id")]
+    assert states.count("matched") == 2
+    assert states.count("idle") == 1
+
+
+def test_scheduling_pass_idempotent_when_no_capacity(services):
+    _, submission, scheduling, _, heartbeat, *_ = services
+    register_machine(heartbeat, vm_count=1)
+    submission.submit_jobs([JobSpec()], now=0.0)
+    assert scheduling.run_pass(now=1.0) == 1
+    assert scheduling.run_pass(now=2.0) == 0  # vm already matched
+
+
+def test_scheduling_respects_user_priority(services):
+    container, submission, scheduling, _, heartbeat, *_ = services
+    register_machine(heartbeat, vm_count=1)
+    low = JobSpec(owner="low-priority")
+    high = JobSpec(owner="high-priority")
+    submission.submit_jobs([low, high], now=0.0)
+    container.db.execute(
+        "UPDATE users SET priority = 0.9 WHERE user_name = 'low-priority'"
+    )
+    container.db.execute(
+        "UPDATE users SET priority = 0.1 WHERE user_name = 'high-priority'"
+    )
+    scheduling.run_pass(now=1.0)
+    match = container.db.query_one("SELECT job_id FROM matches")
+    assert match["job_id"] == high.job_id
+
+
+def test_scheduling_defers_dependent_jobs(services):
+    container, submission, scheduling, lifecycle, heartbeat, *_ = services
+    register_machine(heartbeat, vm_count=2)
+    parent = JobSpec()
+    child = JobSpec(depends_on=(parent.job_id,))
+    submission.submit_jobs([parent, child], now=0.0)
+    scheduling.run_pass(now=1.0)
+    matched = [r["job_id"] for r in container.db.query_all("SELECT job_id FROM matches")]
+    assert matched == [parent.job_id]
+    # Complete the parent; the child becomes eligible.
+    match = container.db.query_one("SELECT vm_id FROM matches")
+    lifecycle.accept_match(parent.job_id, match["vm_id"], now=2.0)
+    lifecycle.complete_job(parent.job_id, match["vm_id"], now=3.0)
+    scheduling.run_pass(now=4.0)
+    matched = [r["job_id"] for r in container.db.query_all("SELECT job_id FROM matches")]
+    assert child.job_id in matched
+
+
+def test_pending_matches_scoped_to_machine(services):
+    container, submission, scheduling, _, heartbeat, *_ = services
+    register_machine(heartbeat, "m1", vm_count=1)
+    register_machine(heartbeat, "m2", vm_count=1)
+    submission.submit_jobs([JobSpec(), JobSpec()], now=0.0)
+    scheduling.run_pass(now=1.0)
+    m1_matches = scheduling.pending_matches_for_machine("m1")
+    m2_matches = scheduling.pending_matches_for_machine("m2")
+    assert len(m1_matches) == 1
+    assert len(m2_matches) == 1
+    assert m1_matches[0]["vm_id"].endswith("@m1")
+
+
+# ----------------------------------------------------------------------
+# lifecycle
+# ----------------------------------------------------------------------
+def full_cycle(services, now=0.0):
+    container, submission, scheduling, lifecycle, heartbeat, *_ = services
+    register_machine(heartbeat)
+    job_id = submission.submit_job(JobSpec(owner="alice", run_seconds=60.0), now)
+    scheduling.run_pass(now + 1)
+    match = container.db.query_one("SELECT vm_id FROM matches WHERE job_id = ?", (job_id,))
+    return job_id, match["vm_id"]
+
+
+def test_accept_match_moves_match_to_run(services):
+    container, *_ = services
+    lifecycle = services[3]
+    job_id, vm_id = full_cycle(services)
+    response = lifecycle.accept_match(job_id, vm_id, now=2.0)
+    assert response["status"] == "OK"
+    assert container.db.table_count("matches") == 0
+    assert container.db.table_count("runs") == 1
+    job = container.db.query_one("SELECT state FROM jobs WHERE job_id = ?", (job_id,))
+    assert job["state"] == "running"
+
+
+def test_accept_match_unknown_pair_raises(services):
+    lifecycle = services[3]
+    with pytest.raises(BeanNotFound):
+        lifecycle.accept_match(999, "vm0@nowhere", now=0.0)
+
+
+def test_complete_job_performs_post_execution_processing(services):
+    container = services[0]
+    lifecycle = services[3]
+    job_id, vm_id = full_cycle(services)
+    lifecycle.accept_match(job_id, vm_id, now=2.0)
+    lifecycle.complete_job(job_id, vm_id, now=62.0)
+    # Operational tuples gone (Table 2, step 15).
+    assert container.db.table_count("jobs") == 0
+    assert container.db.table_count("runs") == 0
+    # History + accounting written.
+    history = container.db.query_one("SELECT * FROM job_history WHERE job_id = ?", (job_id,))
+    assert history["final_state"] == "completed"
+    assert history["completed_at"] == 62.0
+    accounting = container.db.query_one("SELECT * FROM accounting WHERE job_id = ?", (job_id,))
+    assert accounting["wall_seconds"] == pytest.approx(60.0)
+    usage = container.db.scalar(
+        "SELECT accumulated_usage_seconds FROM users WHERE user_name = 'alice'"
+    )
+    assert usage == pytest.approx(60.0)
+
+
+def test_complete_unstarted_job_rejected(services):
+    lifecycle = services[3]
+    job_id, vm_id = full_cycle(services)
+    with pytest.raises(BeanStateError):
+        lifecycle.complete_job(job_id, vm_id, now=10.0)
+
+
+def test_drop_requeues_job(services):
+    container = services[0]
+    lifecycle = services[3]
+    job_id, vm_id = full_cycle(services)
+    lifecycle.accept_match(job_id, vm_id, now=2.0)
+    lifecycle.report_drop(job_id, vm_id, now=3.0, reason="setup-timeout")
+    job = container.db.query_one("SELECT state FROM jobs WHERE job_id = ?", (job_id,))
+    assert job["state"] == "idle"
+    assert container.db.table_count("runs") == 0
+    vm = container.db.query_one("SELECT state FROM vms WHERE vm_id = ?", (vm_id,))
+    assert vm["state"] == "idle"
+
+
+# ----------------------------------------------------------------------
+# heartbeat
+# ----------------------------------------------------------------------
+def test_register_machine_creates_tuples_and_boot_history(services):
+    container = services[0]
+    heartbeat = services[4]
+    register_machine(heartbeat, "m9", vm_count=3)
+    assert container.db.table_count("machines") == 1
+    assert container.db.table_count("vms") == 3
+    assert container.db.table_count("machine_boot_history") == 1
+    register_machine(heartbeat, "m9", vm_count=3, now=100.0)  # reboot
+    assert container.db.table_count("machine_boot_history") == 2
+    assert container.db.table_count("vms") == 3  # no duplicates
+
+
+def test_heartbeat_updates_machine_and_vms(services):
+    container = services[0]
+    heartbeat = services[4]
+    register_machine(heartbeat, "m1", vm_count=2)
+    response = heartbeat.process(
+        {"machine": "m1",
+         "vms": [{"vm_id": "vm0@m1", "state": "busy"}],
+         "events": []},
+        now=50.0,
+    )
+    assert response["status"] == "OK"
+    machine = container.db.query_one("SELECT last_heartbeat FROM machines")
+    assert machine["last_heartbeat"] == 50.0
+    vm = container.db.query_one("SELECT state FROM vms WHERE vm_id = 'vm0@m1'")
+    assert vm["state"] == "busy"
+
+
+def test_heartbeat_returns_matchinfo(services):
+    _, submission, scheduling, _, heartbeat, *_ = services
+    register_machine(heartbeat, "m1", vm_count=1)
+    submission.submit_job(JobSpec(run_seconds=10.0), now=0.0)
+    response = heartbeat.process({"machine": "m1", "vms": [], "events": []}, now=1.0)
+    # inline scheduling produced a match for the idle VM
+    assert response["status"] == "MATCHINFO"
+    assert len(response["matches"]) == 1
+    assert response["matches"][0]["run_seconds"] == 10.0
+
+
+def test_heartbeat_without_inline_scheduling_waits_for_pass(services):
+    container, submission, scheduling, lifecycle, heartbeat, *_ = services
+    heartbeat.inline_scheduling = False
+    register_machine(heartbeat, "m1", vm_count=1)
+    submission.submit_job(JobSpec(), now=0.0)
+    response = heartbeat.process({"machine": "m1", "vms": [], "events": []}, now=1.0)
+    assert response["status"] == "OK"
+    scheduling.run_pass(now=2.0)
+    response = heartbeat.process({"machine": "m1", "vms": [], "events": []}, now=3.0)
+    assert response["status"] == "MATCHINFO"
+
+
+def test_heartbeat_completion_event_flow(services):
+    container, submission, scheduling, lifecycle, heartbeat, *_ = services
+    job_id, vm_id = full_cycle(services)
+    lifecycle.accept_match(job_id, vm_id, now=2.0)
+    response = heartbeat.process(
+        {"machine": "m1", "vms": [],
+         "events": [{"kind": "completed", "job_id": job_id, "vm_id": vm_id}]},
+        now=62.0,
+    )
+    assert container.db.table_count("job_history") == 1
+    assert container.db.table_count("jobs") == 0
+
+
+def test_heartbeat_unknown_event_kind_raises(services):
+    heartbeat = services[4]
+    register_machine(heartbeat)
+    with pytest.raises(ValueError):
+        heartbeat.process(
+            {"machine": "m1", "vms": [],
+             "events": [{"kind": "exploded", "job_id": 1, "vm_id": "x"}]},
+            now=1.0,
+        )
+
+
+def test_mark_missing_machines(services):
+    container = services[0]
+    heartbeat = services[4]
+    register_machine(heartbeat, "m1", now=0.0)
+    register_machine(heartbeat, "m2", now=0.0)
+    heartbeat.process({"machine": "m2", "vms": [], "events": []}, now=1000.0)
+    marked = heartbeat.mark_missing_machines(now=1000.0, timeout_seconds=900.0)
+    assert marked == 1
+    states = {r["machine_name"]: r["state"] for r in
+              container.db.query_all("SELECT machine_name, state FROM machines")}
+    assert states == {"m1": "missing", "m2": "alive"}
+
+
+# ----------------------------------------------------------------------
+# reports
+# ----------------------------------------------------------------------
+def test_queue_summary_groups_by_state(services):
+    _, submission, scheduling, _, heartbeat, reports, _ = services
+    register_machine(heartbeat, vm_count=1)
+    submission.submit_jobs([JobSpec(), JobSpec()], now=0.0)
+    scheduling.run_pass(now=1.0)
+    summary = reports.queue_summary()
+    assert summary["idle"] == 1
+    assert summary["matched"] == 1
+
+
+def test_pool_status_counts(services):
+    _, submission, scheduling, _, heartbeat, reports, _ = services
+    register_machine(heartbeat, "m1", vm_count=2)
+    status = reports.pool_status()
+    assert status["machines_total"] == 1
+    assert status["machines_alive"] == 1
+    assert status["vms_idle"] == 2
+
+
+def test_user_summary_and_job_detail(services):
+    container, submission, scheduling, lifecycle, heartbeat, reports, _ = services
+    job_id, vm_id = full_cycle(services)
+    assert reports.user_summary("alice")["idle"] == 0  # job is matched
+    detail = reports.job_detail(job_id)
+    assert detail["source"] == "queue"
+    lifecycle.accept_match(job_id, vm_id, now=2.0)
+    lifecycle.complete_job(job_id, vm_id, now=62.0)
+    detail = reports.job_detail(job_id)
+    assert detail["source"] == "history"
+    assert reports.job_detail(987654) is None
+    assert reports.user_summary("alice")["completed"] == 1
+
+
+def test_accounting_by_user_aggregates(services):
+    container, submission, scheduling, lifecycle, heartbeat, reports, _ = services
+    job_id, vm_id = full_cycle(services)
+    lifecycle.accept_match(job_id, vm_id, now=2.0)
+    lifecycle.complete_job(job_id, vm_id, now=62.0)
+    rows = reports.accounting_by_user()
+    assert rows[0]["owner"] == "alice"
+    assert rows[0]["jobs"] == 1
+
+
+# ----------------------------------------------------------------------
+# config
+# ----------------------------------------------------------------------
+def test_config_defaults_and_typed_access(services):
+    config = services[6]
+    config.install_defaults(now=0.0)
+    assert config.get("scheduling_interval_seconds") == "2.0"
+    assert config.get_float("scheduling_interval_seconds", 99.0) == 2.0
+    assert config.get("missing-policy") is None
+    assert config.get("missing-policy", "fallback") == "fallback"
+    assert config.get_float("missing-policy", 7.5) == 7.5
+
+
+def test_config_set_records_history(services):
+    config = services[6]
+    config.set("x", "1", now=1.0)
+    config.set("x", "2", now=2.0)
+    history = config.history("x")
+    assert [h["new_value"] for h in history] == ["1", "2"]
+    assert history[1]["old_value"] == "1"
+
+
+def test_config_point_in_time_reconstruction(services):
+    config = services[6]
+    config.set("x", "1", now=10.0)
+    config.set("x", "2", now=20.0)
+    config.set("x", "3", now=30.0)
+    assert config.value_at("x", 5.0) is None
+    assert config.value_at("x", 15.0) == "1"
+    assert config.value_at("x", 25.0) == "2"
+    assert config.value_at("x", 35.0) == "3"

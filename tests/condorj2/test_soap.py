@@ -1,0 +1,121 @@
+"""Unit tests for the SOAP envelope codec."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.condorj2.web.soap import (
+    SoapFault,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+    envelope_size,
+)
+
+
+def round_trip_request(payload):
+    operation, decoded = decode_request(encode_request("op", payload))
+    assert operation == "op"
+    return decoded
+
+
+def test_scalar_round_trips():
+    assert round_trip_request(None) is None
+    assert round_trip_request(True) is True
+    assert round_trip_request(False) is False
+    assert round_trip_request(42) == 42
+    assert round_trip_request(3.5) == 3.5
+    assert round_trip_request("hello") == "hello"
+
+
+def test_string_escaping():
+    assert round_trip_request('a <b> & "c"') == 'a <b> & "c"'
+
+
+def test_list_round_trip():
+    assert round_trip_request([1, "two", 3.0]) == [1, "two", 3.0]
+    assert round_trip_request([]) == []
+
+
+def test_dict_round_trip():
+    payload = {"machine": "node1", "vms": [{"vm_id": "vm0", "state": "idle"}]}
+    assert round_trip_request(payload) == payload
+
+
+def test_nested_structures():
+    payload = {"a": {"b": {"c": [1, {"d": None}]}}}
+    assert round_trip_request(payload) == payload
+
+
+def test_heartbeat_shaped_payload():
+    payload = {
+        "machine": "node007",
+        "vms": [{"vm_id": f"vm{i}@node007", "state": "idle"} for i in range(4)],
+        "events": [{"kind": "completed", "job_id": 12, "vm_id": "vm0@node007"}],
+    }
+    assert round_trip_request(payload) == payload
+
+
+def test_operation_name_decoded():
+    operation, _ = decode_request(encode_request("acceptMatch", {"job_id": 1}))
+    assert operation == "acceptMatch"
+
+
+def test_response_round_trip():
+    envelope = encode_response("heartbeat", {"status": "OK", "matches": []})
+    assert decode_response(envelope) == {"status": "OK", "matches": []}
+
+
+def test_response_fault_raises():
+    envelope = encode_response("op", None, fault="something broke")
+    with pytest.raises(SoapFault, match="something broke"):
+        decode_response(envelope)
+
+
+def test_decode_garbage_raises():
+    with pytest.raises(SoapFault):
+        decode_request("<not-soap/>")
+
+
+def test_unserialisable_payload_raises():
+    with pytest.raises(SoapFault):
+        encode_request("op", object())
+
+
+def test_envelope_size_counts_bytes():
+    envelope = encode_request("op", {"k": "v"})
+    assert envelope_size(envelope) == len(envelope.encode("utf-8"))
+    assert envelope_size(envelope) > 50
+
+
+json_like = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-2**31, max_value=2**31),
+        st.floats(allow_nan=False, allow_infinity=False),
+        st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=20),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(
+            st.text(alphabet=st.characters(min_codepoint=48, max_codepoint=122),
+                    min_size=1, max_size=8),
+            children, max_size=4,
+        ),
+    ),
+    max_leaves=20,
+)
+
+
+@given(json_like)
+@settings(max_examples=200)
+def test_codec_round_trips_arbitrary_payloads(payload):
+    """Property: encode/decode is the identity on JSON-like payloads."""
+    assert round_trip_request(payload) == payload
+
+
+@given(json_like)
+@settings(max_examples=100)
+def test_response_codec_round_trips(payload):
+    assert decode_response(encode_response("op", payload)) == payload

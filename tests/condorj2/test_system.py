@@ -1,0 +1,149 @@
+"""Integration tests for the assembled CondorJ2 system."""
+
+import pytest
+
+from repro.cluster import ClusterSpec, RELIABLE_EXECUTION
+from repro.condorj2 import CondorJ2System
+from repro.condorj2.startd import StartdConfig
+from repro.workload import fixed_length_batch, mixed_batch, two_stage_workflow
+
+
+def small_system(**kwargs):
+    defaults = dict(
+        cluster=ClusterSpec(physical_nodes=3, vms_per_node=2,
+                            dual_core_fraction=0.0, speed_jitter=0.0),
+        seed=5,
+        execution=RELIABLE_EXECUTION,
+    )
+    defaults.update(kwargs)
+    return CondorJ2System(**defaults)
+
+
+def test_full_workload_completes():
+    system = small_system()
+    system.submit_at(0.0, fixed_length_batch(18, 30.0))
+    system.run_until_complete(expected_jobs=18, max_seconds=3600.0)
+    assert system.completed_count() == 18
+    # Operational tables are empty again (Table 2, step 15).
+    assert system.cas.db.table_count("jobs") == 0
+    assert system.cas.db.table_count("runs") == 0
+    assert system.cas.db.table_count("matches") == 0
+    assert system.cas.db.table_count("job_history") == 18
+
+
+def test_machines_register_and_heartbeat():
+    system = small_system()
+    system.start()
+    system.sim.run(until=10.0)
+    assert system.cas.db.table_count("machines") == 3
+    assert system.cas.db.table_count("vms") == 6
+    assert system.cas.db.table_count("machine_boot_history") == 3
+    last = system.cas.db.scalar("SELECT MIN(last_heartbeat) FROM machines")
+    system.sim.run(until=200.0)
+    assert system.cas.db.scalar("SELECT MIN(last_heartbeat) FROM machines") > last
+
+
+def test_pull_model_no_server_initiated_messages():
+    system = small_system(record_trace=True)
+    system.submit_at(0.0, fixed_length_batch(6, 20.0))
+    system.run_until_complete(expected_jobs=6, max_seconds=1200.0)
+    startd_bound = [
+        r for r in system.trace.records
+        if not r.local and r.src_kind == "cas" and r.dst_kind == "startd"
+    ]
+    # The CAS never initiates: every cas->startd record is a response
+    # (requests/responses are recorded once, at request time, src=caller).
+    assert startd_bound == []
+
+
+def test_jobs_survive_drops_and_complete():
+    from repro.cluster import ExecutionModel
+
+    flaky = ExecutionModel(
+        setup_cpu_seconds=0.2, setup_disk_seconds=0.3,
+        teardown_cpu_seconds=0.1, teardown_disk_seconds=0.1,
+        timeout_seconds=0.9, jitter_fraction=0.8,
+        heavy_tail_prob=0.2, heavy_tail_factor=3.0,
+        churn_disk_seconds_per_start=0.0,
+    )
+    system = small_system(execution=flaky, seed=9)
+    system.submit_at(0.0, fixed_length_batch(12, 20.0))
+    system.run_until_complete(expected_jobs=12, max_seconds=7200.0)
+    assert system.completed_count() == 12
+    assert system.log.count("job_dropped") > 0  # drops happened and healed
+
+
+def test_mixed_workload_dependency_free_ordering():
+    system = small_system()
+    system.submit_at(0.0, mixed_batch(8, 2, short_seconds=20.0, long_seconds=60.0))
+    system.run_until_complete(expected_jobs=10, max_seconds=3600.0)
+    assert system.completed_count() == 10
+
+
+def test_workflow_dependencies_enforced_end_to_end():
+    system = small_system()
+    wf = two_stage_workflow(stage1_count=4, stage2_count=1, fan_in=4,
+                            stage1_seconds=20.0, stage2_seconds=30.0)
+    system.submit_at(0.0, wf.jobs)
+    system.run_until_complete(expected_jobs=5, max_seconds=3600.0)
+    history = system.cas.db.query_all(
+        "SELECT job_id, started_at FROM job_history"
+    )
+    started = {row["job_id"]: row["started_at"] for row in history}
+    stage2 = [j for j in wf.jobs if j.depends_on][0]
+    for dep in stage2.depends_on:
+        completed_at = system.cas.db.scalar(
+            "SELECT completed_at FROM job_history WHERE job_id = ?", (dep,)
+        )
+        assert started[stage2.job_id] >= completed_at
+
+
+def test_cpu_metering_produces_samples():
+    system = small_system()
+    system.submit_at(0.0, fixed_length_batch(6, 30.0))
+    system.run_until_complete(expected_jobs=6, max_seconds=1200.0)
+    samples = system.server_utilization()
+    assert samples
+    assert any(s.fraction("user") > 0 for s in samples)
+
+
+def test_startd_full_state_refresh_cycle():
+    config = StartdConfig(idle_poll_seconds=1.0, full_state_every_beats=3)
+    system = small_system(startd_config=config)
+    system.start()
+    system.sim.run(until=30.0)
+    # VM states on the server match reality (all idle, nothing running).
+    states = [r["state"] for r in system.cas.db.query_all("SELECT state FROM vms")]
+    assert states == ["idle"] * 6
+
+
+def test_deterministic_given_seed():
+    def fingerprint(seed):
+        system = small_system(seed=seed)
+        system.submit_at(0.0, fixed_length_batch(10, 25.0))
+        system.run_until_complete(expected_jobs=10, max_seconds=3600.0)
+        return tuple(round(t, 6) for t in system.completion_times())
+
+    assert fingerprint(3) == fingerprint(3)
+
+
+def test_user_client_submit_via_web_service():
+    system = small_system()
+    system.start()
+    process = system.sim.spawn(
+        system.user.call("submitJob", {"owner": "bob", "run_seconds": 15.0})
+    )
+    system.sim.run(until=5.0)
+    assert process.done
+    assert process.result["status"] == "OK"
+    assert system.cas.db.table_count("jobs") == 1
+
+
+def test_unknown_operation_returns_fault():
+    from repro.condorj2.web.soap import SoapFault
+
+    system = small_system()
+    system.start()
+    process = system.sim.spawn(system.user.call("noSuchOp", {}))
+    system.sim.run(until=5.0)
+    assert isinstance(process.error, SoapFault)

@@ -1,0 +1,98 @@
+"""Tests for the experiment harness (fast paths and structure).
+
+The heavy experiments run in benchmarks/; these tests exercise the
+experiment machinery itself: dataflow traces (fast), the codebase
+harness, scaled-down sweeps, and the CLI plumbing.
+"""
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.codebase import measure_components, run as run_codebase
+from repro.experiments.common import (
+    clear_sweep_cache,
+    run_throughput_sweep,
+    vm_cycle_rate,
+)
+from repro.experiments.dataflow import run_tab01, run_tab02
+from repro.sim.monitor import EventLog
+
+
+def test_all_experiments_registered():
+    expected = {
+        "tab01", "tab02", "sec4231", "fig07", "fig08", "fig09", "fig10",
+        "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "sec532",
+    }
+    assert set(ALL_EXPERIMENTS) == expected
+
+
+def test_tab01_matches_paper():
+    result = run_tab01()
+    assert result.all_checks_pass(), result.failed_checks()
+
+
+def test_tab02_matches_paper():
+    result = run_tab02()
+    assert result.all_checks_pass(), result.failed_checks()
+
+
+def test_codebase_harness_measures_repo():
+    totals = measure_components()
+    assert totals["condor-common"] > 1000
+    assert totals["condorj2-common"] > 1000
+    assert totals["shared-substrate"] > 1000
+    result = run_codebase()
+    assert result.all_checks_pass(), result.failed_checks()
+
+
+def test_vm_cycle_rate_computation():
+    log = EventLog()
+    # Two VMs, each completing every 10 s -> 2 VMs / 10 s = 0.2 jobs/s.
+    for t in (10.0, 20.0, 30.0):
+        log.record(t, "job_completed", vm_id="vm0")
+        log.record(t + 5.0, "job_completed", vm_id="vm1")
+    assert vm_cycle_rate(log, 2) == pytest.approx(0.2)
+
+
+def test_vm_cycle_rate_empty_log():
+    assert vm_cycle_rate(EventLog(), 10) == 0.0
+
+
+def test_scaled_down_sweep_has_expected_shape():
+    """A miniature sweep (short window) still shows the ordering."""
+    clear_sweep_cache()
+    points = run_throughput_sweep(job_lengths=(18.0, 60.0), seed=1,
+                                  sustain_seconds=180.0)
+    by_len = {p.job_length_seconds: p for p in points}
+    assert by_len[60.0].efficiency > 0.85
+    assert by_len[18.0].observed_rate > by_len[60.0].observed_rate
+    clear_sweep_cache()
+
+
+def test_sweep_results_are_memoized():
+    clear_sweep_cache()
+    first = run_throughput_sweep(job_lengths=(60.0,), seed=2,
+                                 sustain_seconds=120.0)
+    second = run_throughput_sweep(job_lengths=(60.0,), seed=2,
+                                  sustain_seconds=120.0)
+    assert first is second
+    clear_sweep_cache()
+
+
+def test_cli_list_and_unknown(capsys):
+    from repro.experiments.cli import main
+
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig07" in out and "tab01" in out
+    assert main(["not-an-experiment"]) == 2
+
+
+def test_cli_runs_fast_experiment(capsys):
+    from repro.experiments.cli import main
+
+    code = main(["sec4231"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "sec4231" in out
+    assert "PASS" in out

@@ -1,0 +1,73 @@
+"""Unit tests for text rendering helpers."""
+
+import pytest
+
+from repro.metrics import ascii_bars, ascii_chart, ascii_table, fraction_percent
+
+
+def test_table_alignment_and_rule():
+    text = ascii_table(["name", "value"], [["a", 1], ["long-name", 22]])
+    lines = text.splitlines()
+    assert lines[0].startswith("name")
+    assert set(lines[1]) <= {"-", " "}
+    assert "long-name" in lines[3]
+
+
+def test_table_title():
+    text = ascii_table(["h"], [["x"]], title="My Table")
+    assert text.splitlines()[0] == "My Table"
+
+
+def test_table_float_formatting():
+    text = ascii_table(["v"], [[1.5], [2.0]])
+    cells = [line.strip() for line in text.splitlines()[2:]]
+    assert cells == ["1.5", "2"]  # trailing zeros stripped
+
+
+def test_chart_empty_series():
+    assert "(empty series)" in ascii_chart([], title="t")
+
+
+def test_chart_contains_extent_labels():
+    series = [(0.0, 0.0), (10.0, 100.0)]
+    text = ascii_chart(series, width=20, height=5, title="T")
+    assert "T" in text
+    assert "100.00" in text
+    assert "0.00" in text
+    assert "*" in text
+
+
+def test_chart_flat_series_does_not_crash():
+    text = ascii_chart([(0.0, 5.0), (1.0, 5.0)], width=10, height=4)
+    assert "*" in text
+
+
+def test_chart_single_point():
+    text = ascii_chart([(3.0, 7.0)], width=10, height=4)
+    assert "*" in text
+
+
+def test_bars_render_proportionally():
+    text = ascii_bars(["a", "b"], [1.0, 2.0], width=10)
+    lines = text.splitlines()
+    assert lines[0].count("#") == 5
+    assert lines[1].count("#") == 10
+
+
+def test_bars_zero_values():
+    text = ascii_bars(["a"], [0.0])
+    assert "a" in text
+
+
+def test_bars_empty():
+    assert "(no data)" in ascii_bars([], [], title="x")
+
+
+def test_bars_length_mismatch_raises():
+    with pytest.raises(ValueError):
+        ascii_bars(["a"], [1.0, 2.0])
+
+
+def test_fraction_percent():
+    assert fraction_percent(0.4) == "40.0%"
+    assert fraction_percent(1.0) == "100.0%"

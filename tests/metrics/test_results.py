@@ -1,0 +1,55 @@
+"""Unit tests for experiment result records."""
+
+from repro.metrics import ExperimentResult, ShapeCheck
+
+
+def make_result():
+    result = ExperimentResult("fig00", "Example", params={"nodes": 45})
+    result.rows.append({"metric": "rate", "value": 4.5})
+    return result
+
+
+def test_add_check_and_all_pass():
+    result = make_result()
+    result.add_check("knee", "~1800", "1750", True)
+    result.add_check("saturates", "yes", "yes", True)
+    assert result.all_checks_pass()
+    assert result.failed_checks() == []
+
+
+def test_failed_checks_reported():
+    result = make_result()
+    result.add_check("ok-one", "x", "x", True)
+    result.add_check("bad-one", "y", "z", False)
+    assert not result.all_checks_pass()
+    assert [c.name for c in result.failed_checks()] == ["bad-one"]
+
+
+def test_check_row_rendering():
+    check = ShapeCheck("n", "e", "m", True)
+    assert check.row() == ("n", "e", "m", "PASS")
+    assert ShapeCheck("n", "e", "m", False).row()[-1] == "FAIL"
+
+
+def test_summary_contains_sections():
+    result = make_result()
+    result.add_check("c", "paper-says", "we-got", True)
+    result.notes.append("a caveat")
+    text = result.summary()
+    assert "fig00" in text
+    assert "nodes" in text
+    assert "rate" in text
+    assert "paper-says" in text
+    assert "note: a caveat" in text
+
+
+def test_summary_without_optional_sections():
+    result = ExperimentResult("fig01", "Bare")
+    text = result.summary()
+    assert "fig01" in text
+
+
+def test_checks_coerce_truthiness():
+    result = make_result()
+    result.add_check("coerced", "e", "m", 1)
+    assert result.checks[-1].ok is True

@@ -1,0 +1,159 @@
+"""Unit tests for the host model."""
+
+import pytest
+
+from repro.sim import MemoryExhausted, ResourceError, Simulator
+from repro.sim.cpu import TAG_IO, TAG_SYSTEM, TAG_USER, Host, busy_loop, p3_node, quad_xeon
+
+
+def make_host(**kwargs):
+    sim = Simulator()
+    defaults = dict(cores=2, speed=1.0, memory_mb=100.0)
+    defaults.update(kwargs)
+    return sim, Host(sim, "h", **defaults)
+
+
+def test_compute_scales_with_speed():
+    sim = Simulator()
+    fast = Host(sim, "fast", cores=1, speed=2.0)
+    slow = Host(sim, "slow", cores=1, speed=0.5)
+    times = {}
+
+    def run(host, label):
+        yield host.compute(10.0)
+        times[label] = sim.now
+
+    sim.spawn(run(fast, "fast"))
+    sim.spawn(run(slow, "slow"))
+    sim.run()
+    assert times["fast"] == pytest.approx(5.0)
+    assert times["slow"] == pytest.approx(20.0)
+
+
+def test_compute_tags_user_cycles():
+    sim, host = make_host()
+    sim.spawn(busy_loop(host, 6.0))
+    sim.run()
+    assert host.meter.total_seconds(TAG_USER) == pytest.approx(6.0)
+
+
+def test_system_work_tags_system_cycles():
+    sim, host = make_host()
+
+    def proc():
+        yield host.system_work(3.0)
+
+    sim.spawn(proc())
+    sim.run()
+    assert host.meter.total_seconds(TAG_SYSTEM) == pytest.approx(3.0)
+
+
+def test_disk_io_tags_io_and_does_not_hold_cpu():
+    sim, host = make_host(cores=1)
+    order = []
+
+    def io_task():
+        yield host.disk_io(10.0)
+        order.append(("io", sim.now))
+
+    def cpu_task():
+        yield host.compute(1.0)
+        order.append(("cpu", sim.now))
+
+    sim.spawn(io_task())
+    sim.spawn(cpu_task())
+    sim.run()
+    # The CPU task completes while the IO is still in flight.
+    assert order == [("cpu", 1.0), ("io", 10.0)]
+    assert host.meter.total_seconds(TAG_IO) == pytest.approx(10.0)
+
+
+def test_cores_limit_parallelism():
+    sim, host = make_host(cores=2, speed=1.0)
+    finished = []
+
+    def proc(label):
+        yield host.compute(4.0)
+        finished.append((label, sim.now))
+
+    for label in "abc":
+        sim.spawn(proc(label))
+    sim.run()
+    assert finished == [("a", 4.0), ("b", 4.0), ("c", 8.0)]
+
+
+def test_memory_accounting():
+    _, host = make_host(memory_mb=100.0)
+    host.allocate_memory(60.0)
+    assert host.memory_used_mb == pytest.approx(60.0)
+    assert host.memory_free_mb == pytest.approx(40.0)
+    host.free_memory(20.0)
+    assert host.memory_used_mb == pytest.approx(40.0)
+
+
+def test_memory_exhaustion_raises_with_details():
+    _, host = make_host(memory_mb=100.0)
+    host.allocate_memory(90.0)
+    with pytest.raises(MemoryExhausted) as err:
+        host.allocate_memory(20.0)
+    assert err.value.host_name == "h"
+    assert err.value.requested_mb == pytest.approx(20.0)
+
+
+def test_memory_free_never_negative():
+    _, host = make_host()
+    host.allocate_memory(10.0)
+    host.free_memory(50.0)
+    assert host.memory_used_mb == 0.0
+
+
+def test_negative_memory_operations_raise():
+    _, host = make_host()
+    with pytest.raises(ResourceError):
+        host.allocate_memory(-1.0)
+    with pytest.raises(ResourceError):
+        host.free_memory(-1.0)
+
+
+def test_invalid_host_parameters_raise():
+    sim = Simulator()
+    with pytest.raises(ResourceError):
+        Host(sim, "bad", cores=0)
+    with pytest.raises(ResourceError):
+        Host(sim, "bad", speed=0.0)
+
+
+def test_utilization_reports_three_tags():
+    sim, host = make_host(cores=1)
+
+    def proc():
+        yield host.compute(6.0)
+        yield host.system_work(6.0)
+        yield host.disk_io(6.0)
+
+    sim.spawn(proc())
+    sim.run()
+    samples = host.utilization(until=60.0)
+    assert len(samples) == 1
+    sample = samples[0]
+    assert sample.fraction(TAG_USER) == pytest.approx(0.1)
+    assert sample.fraction(TAG_SYSTEM) == pytest.approx(0.1)
+    assert sample.fraction(TAG_IO) == pytest.approx(0.1)
+    assert sample.idle == pytest.approx(0.7)
+
+
+def test_quad_xeon_matches_paper_testbed():
+    sim = Simulator()
+    server = quad_xeon(sim)
+    assert server.cores == 4
+    assert server.memory_mb == pytest.approx(4096.0)
+    assert server.speed == pytest.approx(3.0)
+
+
+def test_p3_node_defaults():
+    sim = Simulator()
+    node = p3_node(sim, "n1")
+    assert node.cores == 1
+    assert node.speed == pytest.approx(1.0)
+    dual = p3_node(sim, "n2", cores=2)
+    assert dual.cores == 2

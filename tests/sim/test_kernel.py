@@ -1,0 +1,320 @@
+"""Unit tests for the simulator and the process/effect model."""
+
+import pytest
+
+from repro.sim import (
+    Delay,
+    Join,
+    ProcessError,
+    SchedulingError,
+    Signal,
+    SimulationLimitExceeded,
+    Simulator,
+    Spawn,
+    Use,
+    Wait,
+)
+from repro.sim.resources import Resource
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_schedule_callback_advances_clock():
+    sim = Simulator()
+    seen = []
+    sim.schedule(2.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [2.5]
+    assert sim.now == 2.5
+
+
+def test_schedule_negative_delay_raises():
+    sim = Simulator()
+    with pytest.raises(SchedulingError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_past_raises():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SchedulingError):
+        sim.schedule_at(1.0, lambda: None)
+
+
+def test_run_until_stops_clock_exactly():
+    sim = Simulator()
+    sim.schedule(10.0, lambda: None)
+    sim.run(until=4.0)
+    assert sim.now == 4.0
+    sim.run()
+    assert sim.now == 10.0
+
+
+def test_run_until_includes_boundary_events():
+    sim = Simulator()
+    seen = []
+    sim.schedule(4.0, lambda: seen.append("boundary"))
+    sim.run(until=4.0)
+    assert seen == ["boundary"]
+
+
+def test_max_events_guard():
+    sim = Simulator()
+
+    def rearm():
+        sim.schedule(1.0, rearm)
+
+    sim.schedule(1.0, rearm)
+    with pytest.raises(SimulationLimitExceeded):
+        sim.run(max_events=100)
+
+
+def test_process_delay_sequence():
+    sim = Simulator()
+    trace = []
+
+    def proc():
+        trace.append(("start", sim.now))
+        yield Delay(3.0)
+        trace.append(("mid", sim.now))
+        yield Delay(2.0)
+        trace.append(("end", sim.now))
+
+    sim.spawn(proc())
+    sim.run()
+    assert trace == [("start", 0.0), ("mid", 3.0), ("end", 5.0)]
+
+
+def test_process_result_captured():
+    sim = Simulator()
+
+    def proc():
+        yield Delay(1.0)
+        return 42
+
+    process = sim.spawn(proc())
+    sim.run()
+    assert process.done
+    assert process.result == 42
+
+
+def test_process_error_captured():
+    sim = Simulator()
+
+    def proc():
+        yield Delay(1.0)
+        raise ValueError("boom")
+
+    process = sim.spawn(proc())
+    sim.run()
+    assert process.done
+    assert isinstance(process.error, ValueError)
+
+
+def test_yielding_non_effect_fails_process():
+    sim = Simulator()
+
+    def proc():
+        yield "not an effect"
+
+    process = sim.spawn(proc())
+    sim.run()
+    assert isinstance(process.error, ProcessError)
+
+
+def test_spawn_effect_returns_child():
+    sim = Simulator()
+    seen = {}
+
+    def child():
+        yield Delay(1.0)
+        return "child-result"
+
+    def parent():
+        handle = yield Spawn(child())
+        result = yield Join(handle)
+        seen["result"] = result
+
+    sim.spawn(parent())
+    sim.run()
+    assert seen["result"] == "child-result"
+
+
+def test_join_propagates_child_exception():
+    sim = Simulator()
+
+    def child():
+        yield Delay(1.0)
+        raise RuntimeError("child failed")
+
+    def parent():
+        handle = yield Spawn(child())
+        yield Join(handle)
+
+    process = sim.spawn(parent())
+    sim.run()
+    assert isinstance(process.error, RuntimeError)
+
+
+def test_join_already_finished_child():
+    sim = Simulator()
+    seen = {}
+
+    def child():
+        yield Delay(0.5)
+        return "early"
+
+    def parent(handle):
+        yield Delay(5.0)
+        seen["result"] = (yield Join(handle))
+
+    handle = sim.spawn(child())
+    sim.spawn(parent(handle))
+    sim.run()
+    assert seen["result"] == "early"
+
+
+def test_wait_on_signal():
+    sim = Simulator()
+    signal = Signal("go")
+    seen = []
+
+    def waiter():
+        fired, value = yield Wait(signal)
+        seen.append((fired, value, sim.now))
+
+    sim.spawn(waiter())
+    sim.schedule(7.0, signal.fire, "payload")
+    sim.run()
+    assert seen == [(True, "payload", 7.0)]
+
+
+def test_wait_on_already_fired_signal_resumes_immediately():
+    sim = Simulator()
+    signal = Signal("done")
+    signal.fire("v")
+    seen = []
+
+    def waiter():
+        fired, value = yield Wait(signal)
+        seen.append((fired, value, sim.now))
+
+    sim.spawn(waiter())
+    sim.run()
+    assert seen == [(True, "v", 0.0)]
+
+
+def test_wait_timeout_elapses():
+    sim = Simulator()
+    signal = Signal("never")
+    seen = []
+
+    def waiter():
+        fired, value = yield Wait(signal, timeout=3.0)
+        seen.append((fired, value, sim.now))
+
+    sim.spawn(waiter())
+    sim.run()
+    assert seen == [(False, None, 3.0)]
+
+
+def test_wait_signal_beats_timeout():
+    sim = Simulator()
+    signal = Signal("fast")
+    seen = []
+
+    def waiter():
+        fired, value = yield Wait(signal, timeout=10.0)
+        seen.append((fired, value, sim.now))
+
+    sim.spawn(waiter())
+    sim.schedule(2.0, signal.fire, "won")
+    sim.run()
+    assert seen == [(True, "won", 2.0)]
+    assert sim.now == 2.0  # the timeout event was cancelled
+
+
+def test_signal_fire_twice_raises():
+    signal = Signal("once")
+    signal.fire()
+    with pytest.raises(ProcessError):
+        signal.fire()
+
+
+def test_cancel_stops_process():
+    sim = Simulator()
+    trace = []
+
+    def proc():
+        trace.append("a")
+        yield Delay(5.0)
+        trace.append("b")
+
+    process = sim.spawn(proc())
+    sim.run(until=1.0)
+    process.cancel()
+    sim.run()
+    assert trace == ["a"]
+    assert process.cancelled and process.done
+
+
+def test_cancel_finished_process_is_noop():
+    sim = Simulator()
+
+    def proc():
+        yield Delay(1.0)
+        return 1
+
+    process = sim.spawn(proc())
+    sim.run()
+    process.cancel()
+    assert not process.cancelled  # finished naturally first
+
+
+def test_completion_signal_fires_on_finish():
+    sim = Simulator()
+
+    def proc():
+        yield Delay(1.0)
+        return "done"
+
+    process = sim.spawn(proc())
+    sim.run()
+    assert process.completion.fired
+    assert process.completion.value == "done"
+
+
+def test_use_effect_serialises_on_unit_resource():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1, name="lock")
+    finish_times = []
+
+    def worker():
+        yield Use(resource, 2.0)
+        finish_times.append(sim.now)
+
+    for _ in range(3):
+        sim.spawn(worker())
+    sim.run()
+    assert finish_times == [2.0, 4.0, 6.0]
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for _ in range(5):
+        sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.events_processed == 5
+
+
+def test_deterministic_rng_streams():
+    first = Simulator(seed=99)
+    second = Simulator(seed=99)
+    draws_a = [first.rng.stream("x").random() for _ in range(5)]
+    draws_b = [second.rng.stream("x").random() for _ in range(5)]
+    assert draws_a == draws_b
+    assert first.rng.stream("x") is first.rng.stream("x")
+    assert draws_a != [first.rng.stream("y").random() for _ in range(5)]

@@ -1,0 +1,98 @@
+"""Unit tests for event logging and series derivation."""
+
+import pytest
+
+from repro.sim.monitor import (
+    EventLog,
+    in_progress_series,
+    per_minute_rate,
+    rolling_average,
+    steady_state_rate,
+)
+
+
+def test_event_log_record_and_query():
+    log = EventLog()
+    log.record(1.0, "start", job=1)
+    log.record(2.0, "finish", job=1)
+    log.record(3.0, "start", job=2)
+    assert len(log) == 3
+    assert log.count("start") == 2
+    assert log.times("start") == [1.0, 3.0]
+    assert log.events("finish")[0].attrs == {"job": 1}
+
+
+def test_event_log_events_without_filter_returns_all():
+    log = EventLog()
+    log.record(1.0, "a")
+    log.record(2.0, "b")
+    assert [e.kind for e in log.events()] == ["a", "b"]
+
+
+def test_per_minute_rate_buckets_by_minute():
+    times = [0.0, 30.0, 59.9, 60.0, 120.0]
+    rates = per_minute_rate(times)
+    assert rates[0] == (0, pytest.approx(3 / 60.0))
+    assert rates[1] == (1, pytest.approx(1 / 60.0))
+    assert rates[2] == (2, pytest.approx(1 / 60.0))
+
+
+def test_per_minute_rate_fills_gaps_with_zero():
+    rates = per_minute_rate([0.0, 179.0])
+    assert len(rates) == 3
+    assert rates[1] == (1, 0.0)
+
+
+def test_per_minute_rate_horizon_extends_series():
+    rates = per_minute_rate([0.0], horizon=300.0)
+    assert len(rates) == 5
+
+
+def test_per_minute_rate_empty():
+    assert per_minute_rate([]) == []
+
+
+def test_in_progress_series_counts_open_intervals():
+    starts = [0.0, 0.0, 60.0]
+    ends = [120.0, 150.0, 200.0]
+    series = in_progress_series(starts, ends)
+    as_dict = dict(series)
+    assert as_dict[0] == 2   # two jobs started exactly at 0
+    assert as_dict[1] == 3   # third job started at 60
+    assert as_dict[2] == 2   # first ended at 120
+    assert as_dict[3] == 1
+
+
+def test_in_progress_series_empty():
+    assert in_progress_series([], []) == [(0, 0)]
+
+
+def test_steady_state_rate_excludes_ramps():
+    # 1 event/second from t=0..100; the trimmed estimate stays ~1.0.
+    times = [float(t) for t in range(101)]
+    assert steady_state_rate(times) == pytest.approx(1.0, rel=0.05)
+
+
+def test_steady_state_rate_single_event_is_zero():
+    assert steady_state_rate([5.0]) == 0.0
+    assert steady_state_rate([]) == 0.0
+
+
+def test_steady_state_rate_identical_times_is_zero():
+    assert steady_state_rate([3.0, 3.0, 3.0]) == 0.0
+
+
+def test_rolling_average_window():
+    series = [(0, 0.0), (1, 10.0), (2, 20.0)]
+    smoothed = rolling_average(series, window=2)
+    assert smoothed == [(0, 0.0), (1, 5.0), (2, 15.0)]
+
+
+def test_rolling_average_window_one_is_identity():
+    series = [(0, 1.0), (1, 2.0)]
+    assert rolling_average(series, window=1) == series
+
+
+def test_rolling_average_bad_window():
+    with pytest.raises(ValueError):
+        rolling_average([], window=0)

@@ -1,0 +1,201 @@
+"""Unit tests for the message transport and trace accounting."""
+
+import pytest
+
+from repro.sim import Delay, Simulator, Wait
+from repro.sim.network import (
+    LatencyModel,
+    MessageTrace,
+    Network,
+    NetworkError,
+)
+
+
+class Receiver:
+    """Minimal endpoint capturing messages and serving RPCs."""
+
+    def __init__(self, sim, address, entity_kind="receiver", reply=None, fail=False):
+        self.sim = sim
+        self.address = address
+        self.entity_kind = entity_kind
+        self.reply = reply
+        self.fail = fail
+        self.inbox = []
+
+    def on_message(self, message):
+        self.inbox.append(message)
+
+    def handle_request(self, message):
+        yield Delay(0.5)
+        if self.fail:
+            raise RuntimeError("handler failed")
+        return self.reply
+
+
+def make_net(trace=None, latency=None):
+    sim = Simulator()
+    net = Network(sim, latency=latency or LatencyModel(base_seconds=0.001), trace=trace)
+    return sim, net
+
+
+def test_send_delivers_after_latency():
+    sim, net = make_net(latency=LatencyModel(base_seconds=2.0))
+    src = Receiver(sim, "a", "user")
+    dst = Receiver(sim, "b", "schedd")
+    net.register(src)
+    net.register(dst)
+    net.send(src, "b", "submit", payload={"job": 1})
+    sim.run()
+    assert len(dst.inbox) == 1
+    assert dst.inbox[0].kind == "submit"
+    assert dst.inbox[0].payload == {"job": 1}
+    assert dst.inbox[0].time == 0.0
+    assert sim.now == pytest.approx(2.0)
+
+
+def test_duplicate_registration_raises():
+    sim, net = make_net()
+    net.register(Receiver(sim, "a"))
+    with pytest.raises(NetworkError):
+        net.register(Receiver(sim, "a"))
+
+
+def test_send_to_unknown_address_raises():
+    sim, net = make_net()
+    src = Receiver(sim, "a")
+    net.register(src)
+    with pytest.raises(NetworkError):
+        net.send(src, "missing", "ping")
+
+
+def test_unregister_removes_endpoint():
+    sim, net = make_net()
+    endpoint = Receiver(sim, "a")
+    net.register(endpoint)
+    net.unregister("a")
+    with pytest.raises(NetworkError):
+        net.lookup("a")
+
+
+def test_request_round_trip():
+    sim, net = make_net()
+    src = Receiver(sim, "client", "user")
+    dst = Receiver(sim, "server", "cas", reply="MATCHINFO")
+    net.register(src)
+    net.register(dst)
+    results = []
+
+    def caller():
+        signal = net.request(src, "server", "heartbeat", payload={"vm": 3})
+        fired, result = yield Wait(signal)
+        results.append((fired, result))
+
+    sim.spawn(caller())
+    sim.run()
+    (fired, result), = results
+    assert fired
+    assert result.ok
+    assert result.value == "MATCHINFO"
+
+
+def test_request_handler_failure_returns_error_result():
+    sim, net = make_net()
+    src = Receiver(sim, "client")
+    dst = Receiver(sim, "server", fail=True)
+    net.register(src)
+    net.register(dst)
+    results = []
+
+    def caller():
+        signal = net.request(src, "server", "op")
+        _, result = yield Wait(signal)
+        results.append(result)
+
+    sim.spawn(caller())
+    sim.run()
+    assert not results[0].ok
+    assert isinstance(results[0].error, RuntimeError)
+
+
+def test_message_and_byte_counters():
+    sim, net = make_net()
+    src = Receiver(sim, "a")
+    dst = Receiver(sim, "b")
+    net.register(src)
+    net.register(dst)
+    net.send(src, "b", "x", size_bytes=100)
+    net.send(src, "b", "y", size_bytes=200)
+    sim.run()
+    assert net.messages_sent == 2
+    assert net.bytes_sent == 300
+
+
+def test_trace_channels_are_undirected_type_pairs():
+    trace = MessageTrace()
+    sim, net = make_net(trace=trace)
+    user = Receiver(sim, "u", "user")
+    schedd = Receiver(sim, "s", "schedd")
+    net.register(user)
+    net.register(schedd)
+    net.send(user, "s", "submit")
+    net.send(schedd, "u", "ack")
+    sim.run()
+    assert trace.channels() == frozenset({frozenset({"user", "schedd"})})
+    assert trace.entities() == frozenset({"user", "schedd"})
+
+
+def test_trace_records_local_interactions():
+    trace = MessageTrace()
+    sim, net = make_net(trace=trace)
+    net.record_local("schedd", "shadow", "spawn", description="schedd spawns shadow")
+    assert len(trace.records) == 1
+    assert trace.records[0].local
+    assert frozenset({"schedd", "shadow"}) in trace.channels()
+
+
+def test_trace_steps_sorted_by_time():
+    trace = MessageTrace()
+    sim, net = make_net(trace=trace)
+    a = Receiver(sim, "a", "x")
+    b = Receiver(sim, "b", "y")
+    net.register(a)
+    net.register(b)
+
+    def proc():
+        net.send(a, "b", "first")
+        yield Delay(5.0)
+        net.send(a, "b", "second")
+
+    sim.spawn(proc())
+    sim.run()
+    steps = trace.steps()
+    assert [s.kind for s in steps] == ["first", "second"]
+
+
+def test_trace_count_by_kind():
+    trace = MessageTrace()
+    sim, net = make_net(trace=trace)
+    a = Receiver(sim, "a", "startd")
+    b = Receiver(sim, "b", "cas")
+    net.register(a)
+    net.register(b)
+    for _ in range(3):
+        net.send(a, "b", "heartbeat")
+    assert trace.count("heartbeat") == 3
+    assert trace.count("missing") == 0
+
+
+def test_latency_model_per_byte_component():
+    model = LatencyModel(base_seconds=1.0, per_byte_seconds=0.01)
+    assert model.delay(100, None) == pytest.approx(2.0)
+
+
+def test_latency_model_jitter_bounded_and_seeded():
+    sim = Simulator(seed=7)
+    model = LatencyModel(base_seconds=1.0, jitter_fraction=0.1)
+    rng = sim.rng.stream("network")
+    draws = [model.delay(0, rng) for _ in range(50)]
+    assert all(0.9 <= d <= 1.1 for d in draws)
+    sim2 = Simulator(seed=7)
+    rng2 = sim2.rng.stream("network")
+    assert draws == [model.delay(0, rng2) for _ in range(50)]

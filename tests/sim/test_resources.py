@@ -1,0 +1,186 @@
+"""Unit tests for resources and usage metering."""
+
+import pytest
+
+from repro.sim import Delay, ResourceError, Simulator, Use
+from repro.sim.resources import Resource, UsageMeter
+
+
+def test_meter_single_interval_single_bucket():
+    meter = UsageMeter(bucket_seconds=60.0)
+    meter.add(start=10.0, duration=5.0, tag="user")
+    assert meter.busy_seconds("user", 0) == pytest.approx(5.0)
+    assert meter.busy_seconds("user", 1) == 0.0
+
+
+def test_meter_interval_split_across_buckets():
+    meter = UsageMeter(bucket_seconds=60.0)
+    meter.add(start=50.0, duration=20.0, tag="user")
+    assert meter.busy_seconds("user", 0) == pytest.approx(10.0)
+    assert meter.busy_seconds("user", 1) == pytest.approx(10.0)
+
+
+def test_meter_interval_spanning_many_buckets():
+    meter = UsageMeter(bucket_seconds=60.0)
+    meter.add(start=0.0, duration=180.0, tag="io")
+    for minute in range(3):
+        assert meter.busy_seconds("io", minute) == pytest.approx(60.0)
+
+
+def test_meter_zero_duration_ignored():
+    meter = UsageMeter()
+    meter.add(start=5.0, duration=0.0, tag="user")
+    assert meter.tags() == []
+
+
+def test_meter_negative_duration_raises():
+    meter = UsageMeter()
+    with pytest.raises(ResourceError):
+        meter.add(start=0.0, duration=-1.0, tag="user")
+
+
+def test_meter_bad_bucket_width_raises():
+    with pytest.raises(ResourceError):
+        UsageMeter(bucket_seconds=0.0)
+
+
+def test_meter_total_seconds():
+    meter = UsageMeter()
+    meter.add(0.0, 30.0, "user")
+    meter.add(100.0, 20.0, "user")
+    assert meter.total_seconds("user") == pytest.approx(50.0)
+    assert meter.total_seconds("missing") == 0.0
+
+
+def test_utilization_fractions_and_idle():
+    meter = UsageMeter(bucket_seconds=60.0)
+    meter.add(0.0, 30.0, "user")  # half a core for one minute
+    samples = meter.utilization(capacity=1)
+    assert len(samples) == 1
+    assert samples[0].fraction("user") == pytest.approx(0.5)
+    assert samples[0].idle == pytest.approx(0.5)
+
+
+def test_utilization_multi_core_capacity():
+    meter = UsageMeter(bucket_seconds=60.0)
+    meter.add(0.0, 60.0, "user")
+    samples = meter.utilization(capacity=4)
+    assert samples[0].fraction("user") == pytest.approx(0.25)
+    assert samples[0].idle == pytest.approx(0.75)
+
+
+def test_utilization_includes_empty_buckets_to_horizon():
+    meter = UsageMeter(bucket_seconds=60.0)
+    meter.add(0.0, 10.0, "user")
+    samples = meter.utilization(capacity=1, until=300.0)
+    assert len(samples) == 5
+    assert samples[4].idle == pytest.approx(1.0)
+
+
+def test_utilization_bad_capacity_raises():
+    with pytest.raises(ResourceError):
+        UsageMeter().utilization(capacity=0)
+
+
+def test_resource_parallel_capacity():
+    sim = Simulator()
+    resource = Resource(sim, capacity=2, name="cores")
+    done = []
+
+    def worker(label):
+        yield Use(resource, 4.0)
+        done.append((label, sim.now))
+
+    for label in ("a", "b", "c"):
+        sim.spawn(worker(label))
+    sim.run()
+    # a and b run together; c waits for a free server.
+    assert done == [("a", 4.0), ("b", 4.0), ("c", 8.0)]
+
+
+def test_resource_fifo_ordering():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    order = []
+
+    def worker(label, start_delay):
+        yield Delay(start_delay)
+        yield Use(resource, 1.0)
+        order.append(label)
+
+    sim.spawn(worker("first", 0.0))
+    sim.spawn(worker("second", 0.1))
+    sim.spawn(worker("third", 0.2))
+    sim.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_resource_zero_capacity_raises():
+    sim = Simulator()
+    with pytest.raises(ResourceError):
+        Resource(sim, capacity=0)
+
+
+def test_resource_negative_duration_fails_process():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+
+    def worker():
+        yield Use(resource, -1.0)
+
+    process = sim.spawn(worker())
+    sim.run()
+    assert isinstance(process.error, ResourceError)
+
+
+def test_resource_meters_busy_time_by_tag():
+    sim = Simulator()
+    meter = UsageMeter(bucket_seconds=60.0)
+    resource = Resource(sim, capacity=1, meter=meter)
+
+    def worker():
+        yield Use(resource, 10.0, "user")
+        yield Use(resource, 5.0, "io")
+
+    sim.spawn(worker())
+    sim.run()
+    assert meter.total_seconds("user") == pytest.approx(10.0)
+    assert meter.total_seconds("io") == pytest.approx(5.0)
+
+
+def test_resource_busy_and_queued_counters():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+
+    def worker():
+        yield Use(resource, 10.0)
+
+    sim.spawn(worker())
+    sim.spawn(worker())
+    sim.run(until=1.0)
+    assert resource.busy == 1
+    assert resource.queued == 1
+    sim.run()
+    assert resource.busy == 0
+    assert resource.queued == 0
+
+
+def test_cancelled_process_skipped_in_queue():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    done = []
+
+    def holder():
+        yield Use(resource, 5.0)
+        done.append("holder")
+
+    def waiter():
+        yield Use(resource, 5.0)
+        done.append("waiter")
+
+    sim.spawn(holder())
+    waiting = sim.spawn(waiter())
+    sim.run(until=1.0)
+    waiting.cancel()
+    sim.run()
+    assert done == ["holder"]

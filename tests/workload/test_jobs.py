@@ -1,0 +1,121 @@
+"""Unit tests for workload generators."""
+
+import pytest
+
+from repro.workload import (
+    average_job_seconds,
+    fixed_length_batch,
+    mixed_batch,
+    optimal_makespan_seconds,
+    paper_large_cluster_pulses,
+    paper_mixed_workload_180,
+    paper_mixed_workload_540,
+    pulsed_batches,
+    scheduling_throughput_demand,
+    throughput_preload,
+    total_work_seconds,
+)
+
+
+def test_fixed_length_batch_properties():
+    jobs = fixed_length_batch(10, 30.0, owner="alice")
+    assert len(jobs) == 10
+    assert all(job.run_seconds == 30.0 for job in jobs)
+    assert all(job.owner == "alice" for job in jobs)
+    assert len({job.job_id for job in jobs}) == 10
+
+
+def test_fixed_length_batch_zero_and_negative():
+    assert fixed_length_batch(0, 10.0) == []
+    with pytest.raises(ValueError):
+        fixed_length_batch(-1, 10.0)
+
+
+def test_throughput_preload_sustains_window():
+    # 180 VMs of 60 s jobs for 1200 s needs ceil(1200/60)+1 = 21 waves.
+    jobs = throughput_preload(180, 60.0, sustain_seconds=1200.0)
+    assert len(jobs) == 180 * 21
+    assert total_work_seconds(jobs) >= 180 * 1200.0
+
+
+def test_throughput_preload_rejects_bad_vm_count():
+    with pytest.raises(ValueError):
+        throughput_preload(0, 60.0)
+
+
+def test_mixed_batch_composition():
+    jobs = mixed_batch(4, 1)
+    assert len(jobs) == 5
+    assert sum(1 for j in jobs if j.run_seconds == 60.0) == 4
+    assert sum(1 for j in jobs if j.run_seconds == 360.0) == 1
+    # short jobs first, matching submission order in the paper runs
+    assert jobs[0].run_seconds == 60.0
+    assert jobs[-1].run_seconds == 360.0
+
+
+def test_paper_mixed_540_matches_section_523():
+    jobs = paper_mixed_workload_540()
+    assert len(jobs) == 8100
+    assert total_work_seconds(jobs) == pytest.approx(16200 * 60.0)
+    assert average_job_seconds(jobs) == pytest.approx(120.0)
+    assert optimal_makespan_seconds(jobs, 540) == pytest.approx(30 * 60.0)
+    assert scheduling_throughput_demand(540, 120.0) == pytest.approx(4.5)
+
+
+def test_paper_mixed_180_matches_section_533():
+    jobs = paper_mixed_workload_180()
+    assert len(jobs) == 2700
+    assert optimal_makespan_seconds(jobs, 180) == pytest.approx(30 * 60.0)
+    assert scheduling_throughput_demand(180, average_job_seconds(jobs)) == pytest.approx(1.5)
+
+
+def test_pulsed_batches_timing():
+    pulses = pulsed_batches(batches=3, batch_size=5, interval_seconds=300.0,
+                            run_seconds=100.0)
+    assert [p.time for p in pulses] == [0.0, 300.0, 600.0]
+    assert all(len(p.jobs) == 5 for p in pulses)
+
+
+def test_pulsed_batches_validation():
+    with pytest.raises(ValueError):
+        pulsed_batches(0, 5, 300.0, 100.0)
+    with pytest.raises(ValueError):
+        pulsed_batches(5, 0, 300.0, 100.0)
+
+
+def test_paper_large_cluster_pulses_match_section_522():
+    pulses = paper_large_cluster_pulses()
+    assert len(pulses) == 20
+    assert sum(len(p.jobs) for p in pulses) == 50000
+    assert pulses[1].time - pulses[0].time == pytest.approx(300.0)
+    assert pulses[0].jobs[0].run_seconds == pytest.approx(9000.0)
+    # ramp-up spans 100 minutes, 5% of VMs per batch (paper section 5.2.2)
+    assert pulses[-1].time == pytest.approx(95 * 60.0)
+
+
+def test_demand_examples_from_section_511():
+    # 1,200 nodes, 20-minute jobs -> 1 job/s
+    assert scheduling_throughput_demand(1200, 20 * 60.0) == pytest.approx(1.0)
+    # 60 nodes, 1-minute jobs and 36,000 nodes, 10-hour jobs are both 1/s
+    assert scheduling_throughput_demand(60, 60.0) == pytest.approx(1.0)
+    assert scheduling_throughput_demand(36000, 36000.0) == pytest.approx(1.0)
+
+
+def test_optimal_makespan_bounded_by_longest_job():
+    jobs = mixed_batch(1, 1)  # one 60 s + one 360 s job
+    assert optimal_makespan_seconds(jobs, 100) == pytest.approx(360.0)
+
+
+def test_optimal_makespan_empty_and_invalid():
+    assert optimal_makespan_seconds([], 10) == 0.0
+    with pytest.raises(ValueError):
+        optimal_makespan_seconds([], 0)
+
+
+def test_demand_rejects_nonpositive_average():
+    with pytest.raises(ValueError):
+        scheduling_throughput_demand(10, 0.0)
+
+
+def test_average_of_empty_is_zero():
+    assert average_job_seconds([]) == 0.0

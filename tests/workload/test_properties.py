@@ -1,0 +1,78 @@
+"""Property-based tests for workload arithmetic invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.workload import (
+    average_job_seconds,
+    fixed_length_batch,
+    mixed_batch,
+    optimal_makespan_seconds,
+    pulsed_batches,
+    scheduling_throughput_demand,
+    throughput_preload,
+    total_work_seconds,
+)
+
+
+@given(st.integers(1, 200), st.floats(min_value=0.5, max_value=3600.0))
+@settings(max_examples=100)
+def test_fixed_batch_work_arithmetic(count, run_seconds):
+    jobs = fixed_length_batch(count, run_seconds)
+    assert len(jobs) == count
+    assert abs(total_work_seconds(jobs) - count * run_seconds) < 1e-6
+    assert abs(average_job_seconds(jobs) - run_seconds) < 1e-9
+
+
+@given(st.integers(0, 100), st.integers(0, 50))
+@settings(max_examples=100)
+def test_mixed_batch_average_between_extremes(short, long):
+    if short + long == 0:
+        return
+    jobs = mixed_batch(short, long)
+    avg = average_job_seconds(jobs)
+    assert 60.0 - 1e-9 <= avg <= 360.0 + 1e-9
+    if short and long:
+        assert 60.0 < avg < 360.0
+
+
+@given(st.integers(1, 100), st.floats(min_value=5.0, max_value=600.0),
+       st.floats(min_value=60.0, max_value=1800.0))
+@settings(max_examples=50, deadline=None)
+def test_preload_covers_requested_window(vms, run_seconds, window):
+    jobs = throughput_preload(vms, run_seconds, sustain_seconds=window)
+    # Enough total work to keep every VM busy for the window.
+    assert total_work_seconds(jobs) >= vms * window
+    # And the batch is a whole number of cluster-wide waves.
+    assert len(jobs) % vms == 0
+
+
+@given(st.integers(1, 50), st.integers(1, 100),
+       st.floats(min_value=1.0, max_value=1000.0),
+       st.floats(min_value=1.0, max_value=10000.0))
+@settings(max_examples=100)
+def test_pulses_are_equally_spaced_and_sized(batches, size, interval, run_s):
+    pulses = pulsed_batches(batches, size, interval, run_s)
+    assert len(pulses) == batches
+    assert all(len(p.jobs) == size for p in pulses)
+    gaps = [b.time - a.time for a, b in zip(pulses, pulses[1:])]
+    assert all(abs(gap - interval) < 1e-6 for gap in gaps)
+
+
+@given(st.lists(st.floats(min_value=1.0, max_value=7200.0),
+                min_size=1, max_size=60),
+       st.integers(1, 1000))
+@settings(max_examples=100)
+def test_makespan_bounds(lengths, vms):
+    jobs = [j for length in lengths for j in fixed_length_batch(1, length)]
+    bound = optimal_makespan_seconds(jobs, vms)
+    # Never below the longest job nor below work/machines.
+    assert bound >= max(lengths) - 1e-9
+    assert bound >= total_work_seconds(jobs) / vms - 1e-9
+
+
+@given(st.integers(1, 100000), st.floats(min_value=1.0, max_value=86400.0))
+@settings(max_examples=100)
+def test_demand_scales_linearly_in_cluster_size(vms, avg_seconds):
+    one = scheduling_throughput_demand(vms, avg_seconds)
+    two = scheduling_throughput_demand(2 * vms, avg_seconds)
+    assert abs(two - 2 * one) < 1e-9

@@ -1,0 +1,86 @@
+"""Unit tests for dependency workflows."""
+
+import pytest
+
+from repro.cluster import JobSpec
+from repro.workload import Workflow, two_stage_workflow, workflow_throughput_profile
+
+
+def test_two_stage_counts_match_paper_example():
+    wf = two_stage_workflow()
+    assert len(wf.jobs) == 960 + 240
+    stage2 = [job for job in wf.jobs if job.depends_on]
+    assert len(stage2) == 240
+    assert all(len(job.depends_on) == 4 for job in stage2)
+
+
+def test_two_stage_total_work_is_2400_minutes():
+    wf = two_stage_workflow()
+    total = sum(job.run_seconds for job in wf.jobs)
+    assert total == pytest.approx(2400 * 60.0)
+
+
+def test_two_stage_insufficient_fan_in_rejected():
+    with pytest.raises(ValueError):
+        two_stage_workflow(stage1_count=3, stage2_count=1, fan_in=4)
+
+
+def test_workflow_stamps_ids():
+    wf = Workflow(name="w")
+    job = wf.add_job(JobSpec())
+    assert job.workflow_id == wf.workflow_id
+
+
+def test_validate_rejects_foreign_dependency():
+    wf = Workflow()
+    wf.add_job(JobSpec(depends_on=(999999999,)))
+    with pytest.raises(ValueError):
+        wf.validate()
+
+
+def test_validate_rejects_cycle():
+    wf = Workflow()
+    a = wf.add_job(JobSpec())
+    b = wf.add_job(JobSpec(depends_on=(a.job_id,)))
+    # create a cycle a -> b -> a by mutating a's dependencies
+    a.depends_on = (b.job_id,)
+    with pytest.raises(ValueError):
+        wf.validate()
+
+
+def test_topological_order_respects_dependencies():
+    wf = two_stage_workflow(stage1_count=8, stage2_count=2, fan_in=4)
+    order = wf.topological_order()
+    positions = {job.job_id: i for i, job in enumerate(order)}
+    for job in wf.jobs:
+        for dep in job.depends_on:
+            assert positions[dep] < positions[job.job_id]
+
+
+def test_ready_jobs_gate_on_completion():
+    wf = two_stage_workflow(stage1_count=4, stage2_count=1, fan_in=4)
+    stage1_ids = [job.job_id for job in wf.jobs if not job.depends_on]
+    stage2 = [job for job in wf.jobs if job.depends_on][0]
+    assert stage2 not in wf.ready_jobs(set())
+    assert stage2 not in wf.ready_jobs(set(stage1_ids[:3]))
+    assert stage2 in wf.ready_jobs(set(stage1_ids))
+
+
+def test_throughput_profile_matches_paper_numbers():
+    """Section 5.1.3: on 120 machines the workflow needs 2 jobs/s for
+    8 minutes, then 1/3 job/s for 12 minutes."""
+    wf = two_stage_workflow()
+    profile = workflow_throughput_profile(wf, vm_count=120)
+    assert len(profile) == 2
+    (label1, duration1, rate1), (label2, duration2, rate2) = profile
+    assert duration1 == pytest.approx(8 * 60.0)
+    assert rate1 == pytest.approx(2.0)
+    assert duration2 == pytest.approx(12 * 60.0)
+    assert rate2 == pytest.approx(1.0 / 3.0)
+
+
+def test_input_output_files_wired():
+    wf = two_stage_workflow(stage1_count=4, stage2_count=1, fan_in=4)
+    stage2 = [job for job in wf.jobs if job.depends_on][0]
+    assert len(stage2.input_files) == 4
+    assert all(name.endswith(".out") for name in stage2.input_files)
