@@ -1,0 +1,89 @@
+"""Macro-bench: the scheduling pass is O(1) statements in queue length.
+
+The paper's scalability claim, measured directly: one set-oriented
+scheduling pass over a 1,000-job queue and over a 50,000-job queue must
+execute the *same number of SQL statements* — the work is pushed into
+the database's indexed access paths, not a Python loop.  The bench also
+records wall-clock per pass so regressions in the set-oriented plan
+(e.g. a lost index) show up as timing collapse at the deep end.
+"""
+
+import pytest
+
+from repro.cluster import JobSpec
+from repro.condorj2.beans import BeanContainer
+from repro.condorj2.database import Database
+from repro.condorj2.logic import (
+    HeartbeatService,
+    LifecycleService,
+    SchedulingService,
+    SubmissionService,
+)
+
+QUEUE_DEPTHS = (1_000, 10_000, 50_000)
+VM_COUNT = 64
+
+
+def _pool_with_queue(n_jobs):
+    container = BeanContainer(Database())
+    submission = SubmissionService(container)
+    scheduling = SchedulingService(container)
+    lifecycle = LifecycleService(container)
+    heartbeat = HeartbeatService(container, scheduling, lifecycle)
+    for m in range(VM_COUNT // 8):
+        heartbeat.register_machine({"name": f"m{m:03d}", "vm_count": 8}, 0.0)
+    specs = [JobSpec(owner=f"user{i % 13}") for i in range(n_jobs)]
+    submission.submit_jobs(specs, now=0.0)
+    return container, scheduling
+
+
+def _pass_statements(container, scheduling, now):
+    before = container.db.counts.snapshot()
+    created = scheduling.run_pass(now)
+    delta = container.db.counts.delta(before)
+    return created, delta.statements, delta.commits
+
+
+def test_scheduling_pass_statement_count_flat_1k_to_50k(benchmark):
+    """Statement count per pass is identical at every queue depth."""
+    observations = {}
+    pools = {depth: _pool_with_queue(depth) for depth in QUEUE_DEPTHS}
+
+    def run_passes():
+        for depth, (container, scheduling) in pools.items():
+            observations[depth] = _pass_statements(
+                container, scheduling, now=float(scheduling.passes + 1)
+            )
+
+    benchmark.pedantic(run_passes, rounds=1, iterations=1)
+
+    print()
+    for depth, (created, statements, commits) in sorted(observations.items()):
+        print(
+            f"queue={depth:>6}: {created} matches, "
+            f"{statements} statements, {commits} commits"
+        )
+    counts = {
+        (statements, commits)
+        for _, statements, commits in observations.values()
+    }
+    assert len(counts) == 1, (
+        f"statement count varies with queue length: {observations}"
+    )
+    statements, commits = counts.pop()
+    assert statements == 2  # one INSERT..SELECT, one set UPDATE
+    assert commits == 1
+    assert all(created == VM_COUNT for created, _, _ in observations.values())
+
+
+@pytest.mark.parametrize("depth", QUEUE_DEPTHS)
+def test_scheduling_pass_wall_clock_by_depth(benchmark, depth):
+    """Per-depth timing: the pass must not collapse at 50k queued jobs."""
+    container, scheduling = _pool_with_queue(depth)
+
+    def one_pass():
+        # Matches accumulate across rounds; VMs saturate after the first
+        # pass, so later passes measure the pure no-capacity probe.
+        return scheduling.run_pass(now=float(scheduling.passes + 1))
+
+    benchmark.pedantic(one_pass, rounds=3, iterations=1, warmup_rounds=1)

@@ -2,8 +2,10 @@
 
 Layers (Figure 4 of the paper):
 
-* :mod:`repro.condorj2.schema` / :mod:`repro.condorj2.database` — the
-  RDBMS substrate (SQLite standing in for DB2).
+* :mod:`repro.condorj2.schema` / :mod:`repro.condorj2.storage` /
+  :mod:`repro.condorj2.database` — the RDBMS substrate: the relational
+  schema, the pluggable storage engine (SQLite standing in for DB2) and
+  the access-layer facade.
 * :mod:`repro.condorj2.beans` — the persistence layer (entity beans with
   container-managed persistence).
 * :mod:`repro.condorj2.logic` — the application-logic layer
@@ -19,6 +21,12 @@ from repro.condorj2.cas import CondorJ2ApplicationServer
 from repro.condorj2.costs import CasCostModel
 from repro.condorj2.database import ConnectionPool, Database, DatabaseError
 from repro.condorj2.startd import CondorJ2Startd, StartdConfig
+from repro.condorj2.storage import (
+    PreparedStatementCache,
+    SqliteStorageEngine,
+    StatementCounts,
+    StorageEngine,
+)
 from repro.condorj2.system import CondorJ2System, UserClient
 
 __all__ = [
@@ -29,6 +37,10 @@ __all__ = [
     "ConnectionPool",
     "Database",
     "DatabaseError",
+    "PreparedStatementCache",
+    "SqliteStorageEngine",
     "StartdConfig",
+    "StatementCounts",
+    "StorageEngine",
     "UserClient",
 ]

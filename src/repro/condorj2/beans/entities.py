@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import Any, List, Optional
 
 from repro.condorj2.beans.base import BeanConsistencyError, EntityBean
-from repro.condorj2.schema import JOB_TRANSITIONS
+from repro.condorj2.schema import JOB_TRANSITIONS, VM_STATES
 
 
 class UserBean(EntityBean):
@@ -61,7 +61,7 @@ class JobBean(EntityBean):
     PK = "job_id"
     FIELDS = (
         "owner", "workflow_id", "cmd", "args", "state", "run_seconds",
-        "image_size_mb", "requirements", "rank", "depends_on",
+        "image_size_mb", "requirements", "rank",
         "submitted_at", "attempts",
     )
 
@@ -93,11 +93,13 @@ class JobBean(EntityBean):
         self.transition("completed")
 
     def depends_on_ids(self) -> List[int]:
-        """Parsed prerequisite job ids."""
-        raw = self["depends_on"]
-        if not raw:
-            return []
-        return [int(part) for part in raw.split(",")]
+        """Prerequisite job ids (normalized ``job_dependencies`` edges)."""
+        rows = self.db.query_all(
+            "SELECT depends_on_job_id FROM job_dependencies "
+            "WHERE job_id = ? ORDER BY depends_on_job_id",
+            (self.pk_value,),
+        )
+        return [row["depends_on_job_id"] for row in rows]
 
     def check_invariants(self) -> None:
         if self["run_seconds"] <= 0:
@@ -158,10 +160,7 @@ class VmBean(EntityBean):
 
     def set_state(self, state: str, now: float) -> None:
         """Record the slot's execution state as reported by the startd."""
-        self.require(
-            state in ("idle", "claiming", "busy", "offline"),
-            f"unknown vm state {state!r}",
-        )
+        self.require(state in VM_STATES, f"unknown vm state {state!r}")
         self.update(state=state, last_update=now)
 
 

@@ -69,7 +69,11 @@ class CondorJ2ApplicationServer:
         self.network = network
         self.address = address
         self.costs = costs or CasCostModel()
-        self.db = database or Database()
+        # The engine's prepared-statement cache is container
+        # configuration, so the cost model owns its size.
+        self.db = database or Database(
+            statement_cache_size=self.costs.prepared_statement_cache_size
+        )
         self.log = log if log is not None else EventLog()
 
         # container plumbing
@@ -202,7 +206,7 @@ class CondorJ2ApplicationServer:
                 # "CAS inserts a job tuple into database".
                 self.network.record_local(
                     "cas", "database", "sql",
-                    description=f"{operation}: {delta.total()} statements",
+                    description=f"{operation}: {delta.statements} statements",
                 )
             sql_cpu = self.costs.sql_cost_seconds(delta)
             if sql_cpu > 0:

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.condorj2.database import StatementCounts
+from repro.condorj2.storage import StatementCounts
 
 
 @dataclass
@@ -49,6 +49,19 @@ class CasCostModel:
     delete_seconds: float = 0.0010
     #: Disk time per transaction commit (group-committed log force).
     commit_io_seconds: float = 0.0020
+    #: User CPU to dispatch one batched statement (JDBC executeBatch
+    #: marshalling) — charged once per batch on top of the per-row verb
+    #: cost, which batching does *not* discount.
+    batch_dispatch_seconds: float = 0.0004
+    #: User CPU to compile a statement on a prepared-statement cache
+    #: miss; cache hits skip it.  A set-oriented workload converges on a
+    #: small working set of SQL strings, so this is a startup transient.
+    statement_prepare_seconds: float = 0.0003
+
+    # -- storage engine ----------------------------------------------------
+    #: Capacity of the engine's LRU prepared-statement cache (the
+    #: container's PreparedStatement cache in the paper's stack).
+    prepared_statement_cache_size: int = 128
 
     # -- container -------------------------------------------------------
     #: Concurrent request-handling threads in the web/EJB containers.
@@ -81,12 +94,20 @@ class CasCostModel:
         )
 
     def sql_cost_seconds(self, delta: StatementCounts) -> float:
-        """User CPU for the statements in ``delta``."""
+        """User CPU for the statements in ``delta``.
+
+        Verb counts are per *row* even when batched (the storage engine
+        guarantees that), so batching preserves the figures' per-event
+        CPU shape; batches add only their dispatch cost and cache misses
+        their one-time compilation cost.
+        """
         return (
             delta.select * self.select_seconds
             + delta.insert * self.insert_seconds
             + delta.update * self.update_seconds
             + delta.delete * self.delete_seconds
+            + delta.batches * self.batch_dispatch_seconds
+            + delta.prepared_misses * self.statement_prepare_seconds
         )
 
     def io_cost_seconds(self, delta: StatementCounts) -> float:

@@ -1,103 +1,94 @@
-"""SQLite access layer: the CondorJ2 system's RDBMS.
+"""The CondorJ2 access layer: a thin facade over a pluggable storage engine.
 
-The paper used IBM DB2 UDB 8.2; we substitute SQLite executing the *real*
-SQL for every operation (DESIGN.md section 2).  Two properties matter for
-the reproduction:
+The paper used IBM DB2 UDB 8.2; we substitute an engine executing the
+*real* SQL for every operation (DESIGN.md section 2).  Two properties
+matter for the reproduction:
 
 * every state change in the system is an actual SQL statement against an
   actual database — the paper's central claim made concrete;
-* the layer counts statements by verb, which the application server turns
-  into simulated CPU/IO charges (per-event cost is flat in queue length,
-  which is where CondorJ2's scalability shape comes from).
+* the engine counts statements by verb (per row, even when batched),
+  which the application server turns into simulated CPU/IO charges
+  (per-event cost is flat in queue length, which is where CondorJ2's
+  scalability shape comes from).
+
+The engine itself — connection, prepared-statement cache, accounting —
+lives in :mod:`repro.condorj2.storage`; this module adds the query
+helpers, transaction scoping and schema bootstrap the bean container and
+the logic layer program against.
 """
 
 from __future__ import annotations
 
 import sqlite3
 from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Iterable, Iterator, List, Optional, Sequence
 
 from repro.condorj2.schema import SCHEMA_STATEMENTS
+from repro.condorj2.storage import (
+    DatabaseError,
+    PreparedStatementCache,
+    SqliteStorageEngine,
+    StatementCounts,
+    StorageEngine,
+)
 
-
-class DatabaseError(Exception):
-    """Raised for integrity violations and misuse of the access layer."""
-
-
-@dataclass
-class StatementCounts:
-    """Running counts of executed statements, by verb."""
-
-    select: int = 0
-    insert: int = 0
-    update: int = 0
-    delete: int = 0
-    other: int = 0
-    commits: int = 0
-
-    def total(self) -> int:
-        """All statements (commits excluded)."""
-        return self.select + self.insert + self.update + self.delete + self.other
-
-    def snapshot(self) -> "StatementCounts":
-        """An independent copy for before/after deltas."""
-        return StatementCounts(
-            self.select, self.insert, self.update, self.delete, self.other, self.commits
-        )
-
-    def delta(self, earlier: "StatementCounts") -> "StatementCounts":
-        """Counts accumulated since ``earlier``."""
-        return StatementCounts(
-            self.select - earlier.select,
-            self.insert - earlier.insert,
-            self.update - earlier.update,
-            self.delete - earlier.delete,
-            self.other - earlier.other,
-            self.commits - earlier.commits,
-        )
+__all__ = [
+    "ConnectionPool",
+    "Database",
+    "DatabaseError",
+    "StatementCounts",
+]
 
 
 class Database:
-    """An in-process SQLite database with statement accounting.
+    """The operational store, backed by a pluggable :class:`StorageEngine`.
 
-    The database is in-memory by default (the whole cluster state for the
-    10,000-VM experiment fits comfortably); pass a path for durability.
+    By default an in-memory :class:`SqliteStorageEngine` is created; pass
+    ``engine`` to substitute a different backend (or a differently tuned
+    SQLite engine), or ``path`` for a durable SQLite file.
     """
 
-    def __init__(self, path: str = ":memory:"):
-        self._conn = sqlite3.connect(path)
-        self._conn.row_factory = sqlite3.Row
-        self._conn.isolation_level = None  # explicit transaction control
-        self._conn.execute("PRAGMA foreign_keys = ON")
-        self.counts = StatementCounts()
+    def __init__(
+        self,
+        path: str = ":memory:",
+        engine: Optional[StorageEngine] = None,
+        statement_cache_size: int = 128,
+    ):
+        self.engine = engine or SqliteStorageEngine(
+            path, statement_cache_size=statement_cache_size
+        )
         self._in_transaction = False
-        for statement in SCHEMA_STATEMENTS:
-            self._conn.execute(statement)
+        self.engine.run_script(SCHEMA_STATEMENTS)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    @property
+    def counts(self) -> StatementCounts:
+        """The engine's centralized statement accounting."""
+        return self.engine.counts
+
+    @property
+    def statement_cache(self) -> PreparedStatementCache:
+        """The engine's LRU prepared-statement cache."""
+        return self.engine.statement_cache
 
     # ------------------------------------------------------------------
     # statement execution
     # ------------------------------------------------------------------
-    def _count(self, sql: str) -> None:
-        verb = sql.lstrip().split(None, 1)[0].upper() if sql.strip() else ""
-        if verb == "SELECT":
-            self.counts.select += 1
-        elif verb == "INSERT":
-            self.counts.insert += 1
-        elif verb == "UPDATE":
-            self.counts.update += 1
-        elif verb == "DELETE":
-            self.counts.delete += 1
-        else:
-            self.counts.other += 1
-
     def execute(self, sql: str, params: Sequence[Any] = ()) -> sqlite3.Cursor:
         """Run one statement, counting it; integrity errors are wrapped."""
-        self._count(sql)
-        try:
-            return self._conn.execute(sql, params)
-        except sqlite3.IntegrityError as exc:
-            raise DatabaseError(str(exc)) from exc
+        return self.engine.execute(sql, params)
+
+    def executemany(
+        self, sql: str, rows: Iterable[Sequence[Any]]
+    ) -> sqlite3.Cursor:
+        """Run one statement over many parameter rows (one batch).
+
+        The cost-model contract: per-verb work is charged per *row*,
+        dispatch is charged once per batch.
+        """
+        return self.engine.executemany(sql, rows)
 
     def query_all(self, sql: str, params: Sequence[Any] = ()) -> List[sqlite3.Row]:
         """Run a SELECT and fetch every row."""
@@ -126,15 +117,14 @@ class Database:
             yield self
             return
         self._in_transaction = True
-        self._conn.execute("BEGIN")
+        self.engine.begin()
         try:
             yield self
         except BaseException:
-            self._conn.execute("ROLLBACK")
+            self.engine.rollback()
             raise
         else:
-            self._conn.execute("COMMIT")
-            self.counts.commits += 1
+            self.engine.commit()
         finally:
             self._in_transaction = False
 
@@ -150,11 +140,11 @@ class Database:
         """Row count of ``table`` (identifier validated against schema)."""
         if not table.replace("_", "").isalnum():
             raise DatabaseError(f"invalid table name {table!r}")
-        return int(self.scalar(f"SELECT COUNT(*) FROM {table}"))
+        return int(self.scalar(f"SELECT COUNT(*) FROM {table}"))  # sql-ident: table
 
     def close(self) -> None:
-        """Close the underlying connection."""
-        self._conn.close()
+        """Close the underlying engine."""
+        self.engine.close()
 
 
 class ConnectionPool:

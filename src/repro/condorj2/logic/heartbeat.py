@@ -5,15 +5,22 @@ heartbeat web service (Table 2, steps 3-4, 7-8, 12-15): machine liveness,
 VM status, embedded job events (completions, drops) and, in the response,
 MATCHINFO for idle VMs.  "Execute nodes in CondorJ2 always initiate any
 interaction they have with the CAS" (section 5.2.1).
+
+A heartbeat is set-oriented on the server side: the machine refresh is
+one guarded UPDATE, the reported VM states are one batched UPDATE, and
+embedded completion events are handed to the lifecycle service as one
+batch.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Tuple
 
-from repro.condorj2.beans import BeanContainer, MachineBean, VmBean
+from repro.condorj2.beans import BeanContainer, MachineBean
+from repro.condorj2.beans.base import BeanNotFound, BeanStateError
 from repro.condorj2.logic.lifecycle import LifecycleService
 from repro.condorj2.logic.scheduling import SchedulingService
+from repro.condorj2.schema import VM_STATES
 
 
 class HeartbeatService:
@@ -42,6 +49,7 @@ class HeartbeatService:
     def register_machine(self, description: Dict[str, Any], now: float) -> None:
         """First contact (or reboot): create/refresh machine and VM tuples."""
         name = description["name"]
+        vm_count = description.get("vm_count", 1)
         with self.container.db.transaction():
             machine = self.container.find_optional(MachineBean, name)
             if machine is None:
@@ -52,21 +60,16 @@ class HeartbeatService:
                     opsys=description.get("opsys", "LINUX"),
                     cores=description.get("cores", 1),
                     memory_mb=description.get("memory_mb", 512),
-                    vm_count=description.get("vm_count", 1),
+                    vm_count=vm_count,
                     state="alive",
                     last_heartbeat=now,
                     boot_count=0,
                 )
-            for index in range(description.get("vm_count", 1)):
-                vm_id = f"vm{index}@{name}"
-                if self.container.find_optional(VmBean, vm_id) is None:
-                    self.container.create(
-                        VmBean,
-                        vm_id=vm_id,
-                        machine_name=name,
-                        state="idle",
-                        last_update=now,
-                    )
+            self.container.db.executemany(
+                "INSERT OR IGNORE INTO vms (vm_id, machine_name, state, last_update) "
+                "VALUES (?, ?, 'idle', ?)",
+                [(f"vm{index}@{name}", name, now) for index in range(vm_count)],
+            )
             machine.record_boot(now)
 
     # ------------------------------------------------------------------
@@ -89,15 +92,28 @@ class HeartbeatService:
         self.heartbeats_processed += 1
         machine_name = payload["machine"]
         with self.container.db.transaction():
-            machine = self.container.find(MachineBean, machine_name)
-            machine.heartbeat(now)
+            refreshed = self.container.db.execute(
+                "UPDATE machines SET last_heartbeat = ?, state = 'alive' "
+                "WHERE machine_name = ?",
+                (now, machine_name),
+            )
+            if refreshed.rowcount == 0:
+                raise BeanNotFound(f"machines[{machine_name!r}] not found")
             # Job events first: completions free VMs for new matches.
-            for event in payload.get("events", ()):
-                self._apply_event(event, now)
+            self._apply_events(payload.get("events", ()), now)
+            vm_updates: List[Tuple[str, float, str]] = []
             for vm_info in payload.get("vms", ()):
-                vm = self.container.find_optional(VmBean, vm_info["vm_id"])
-                if vm is not None:
-                    vm.set_state(vm_info["state"], now)
+                state = vm_info["state"]
+                if state not in VM_STATES:
+                    raise BeanStateError(
+                        f"vms[{vm_info['vm_id']!r}]: unknown vm state {state!r}"
+                    )
+                vm_updates.append((state, now, vm_info["vm_id"]))
+            if vm_updates:
+                self.container.db.executemany(
+                    "UPDATE vms SET state = ?, last_update = ? WHERE vm_id = ?",
+                    vm_updates,
+                )
         matches = self.scheduling.pending_matches_for_machine(machine_name)
         if not matches and self.inline_scheduling and self._has_idle_vm(machine_name):
             self.scheduling.run_pass(now)
@@ -114,21 +130,32 @@ class HeartbeatService:
             )
         )
 
-    def _apply_event(self, event: Dict[str, Any], now: float) -> None:
-        kind = event["kind"]
-        if kind == "completed":
-            self.lifecycle.complete_job(event["job_id"], event["vm_id"], now)
-        elif kind == "dropped":
-            self.lifecycle.report_drop(
-                event["job_id"], event["vm_id"], now, reason=event.get("reason", "")
+    def _apply_events(self, events: Any, now: float) -> None:
+        """Apply embedded job events, batching the completions."""
+        completions: List[Tuple[int, str]] = []
+        started_vms: List[Tuple[float, str]] = []
+        for event in events:
+            kind = event["kind"]
+            if kind == "completed":
+                completions.append((event["job_id"], event["vm_id"]))
+            elif kind == "dropped":
+                self.lifecycle.report_drop(
+                    event["job_id"], event["vm_id"], now,
+                    reason=event.get("reason", ""),
+                )
+            elif kind == "started":
+                # Informational: the job is already 'running' after
+                # acceptMatch; record the slot as busy.
+                started_vms.append((now, event["vm_id"]))
+            else:
+                raise ValueError(f"unknown heartbeat event kind {kind!r}")
+        if completions:
+            self.lifecycle.complete_jobs(completions, now)
+        if started_vms:
+            self.container.db.executemany(
+                "UPDATE vms SET state = 'busy', last_update = ? WHERE vm_id = ?",
+                started_vms,
             )
-        elif kind == "started":
-            # Informational: the job is already 'running' after acceptMatch.
-            vm = self.container.find_optional(VmBean, event["vm_id"])
-            if vm is not None:
-                vm.set_state("busy", now)
-        else:
-            raise ValueError(f"unknown heartbeat event kind {kind!r}")
 
     # ------------------------------------------------------------------
     # liveness sweep (server-side)

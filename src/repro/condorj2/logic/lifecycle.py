@@ -6,13 +6,20 @@ deletes the run and job tuples.  Completion also performs the
 *post-execution processing* the paper highlights in section 5.1.1:
 recording history, recording accounting, charging the user, and removing
 the job from the operational queue — all inside one transaction.
+
+Completions arrive in batches (a heartbeat carries every event since the
+last beat), so :meth:`LifecycleService.complete_jobs` is the primary
+path: one validating SELECT over the batch, then one batched statement
+per table touched — the statement count is flat in the batch size even
+though the cost model still charges per row.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.condorj2.beans import BeanContainer, JobBean, UserBean, VmBean
+from repro.condorj2.beans import BeanContainer
 from repro.condorj2.beans.base import BeanNotFound, BeanStateError
 from repro.sim.monitor import EventLog
 
@@ -43,10 +50,20 @@ class LifecycleService:
                 "INSERT INTO runs (job_id, vm_id, started_at) VALUES (?, ?, ?)",
                 (job_id, vm_id, now),
             )
-            job = self.container.find(JobBean, job_id)
-            job.mark_running()
-            vm = self.container.find(VmBean, vm_id)
-            vm.set_state("claiming", now)
+            updated = self.container.db.execute(
+                "UPDATE jobs SET state = 'running', attempts = attempts + 1 "
+                "WHERE job_id = ? AND state = 'matched'",
+                (job_id,),
+            )
+            if updated.rowcount == 0:
+                raise BeanStateError(
+                    f"jobs[{job_id!r}]: illegal transition to 'running'"
+                )
+            self.container.db.execute(
+                "UPDATE vms SET state = 'claiming', last_update = ? "
+                "WHERE vm_id = ?",
+                (now, vm_id),
+            )
         self.log.record(now, "job_started", job_id=job_id, vm_id=vm_id)
         return {"job_id": job_id, "vm_id": vm_id, "status": "OK"}
 
@@ -63,12 +80,15 @@ class LifecycleService:
         with self.container.db.transaction():
             self.container.db.execute("DELETE FROM runs WHERE job_id = ?", (job_id,))
             self.container.db.execute("DELETE FROM matches WHERE job_id = ?", (job_id,))
-            job = self.container.find_optional(JobBean, job_id)
-            if job is not None and job["state"] in ("matched", "running"):
-                job.mark_idle_again()
-            vm = self.container.find_optional(VmBean, vm_id)
-            if vm is not None:
-                vm.set_state("idle", now)
+            self.container.db.execute(
+                "UPDATE jobs SET state = 'idle' "
+                "WHERE job_id = ? AND state IN ('matched', 'running')",
+                (job_id,),
+            )
+            self.container.db.execute(
+                "UPDATE vms SET state = 'idle', last_update = ? WHERE vm_id = ?",
+                (now, vm_id),
+            )
         self.log.record(now, "job_dropped", job_id=job_id, vm_id=vm_id, reason=reason)
 
     # ------------------------------------------------------------------
@@ -76,43 +96,94 @@ class LifecycleService:
     # ------------------------------------------------------------------
     def complete_job(self, job_id: int, vm_id: str, now: float) -> None:
         """Delete run and job tuples; write history and accounting."""
-        with self.container.db.transaction():
-            job = self.container.find(JobBean, job_id)
-            if job["state"] != "running":
-                raise BeanStateError(
-                    f"completion for job {job_id} in state {job['state']!r}"
-                )
-            run = self.container.db.query_one(
-                "SELECT started_at FROM runs WHERE job_id = ?", (job_id,)
+        self.complete_jobs([(job_id, vm_id)], now)
+
+    def complete_jobs(
+        self, completions: Sequence[Tuple[int, str]], now: float
+    ) -> None:
+        """Post-execution processing for a batch of ``(job_id, vm_id)``.
+
+        One validating SELECT over the whole batch, then one batched
+        statement per table (runs, job_history, accounting, users, jobs,
+        vms) — the statement count is independent of the batch size.
+        """
+        if not completions:
+            return
+        db = self.container.db
+        job_ids = [job_id for job_id, _ in completions]
+        with db.transaction():
+            # json_each keeps the SQL text constant across batch sizes,
+            # so the statement stays one prepared-statement-cache entry
+            # instead of one per distinct IN-list length.
+            rows = db.query_all(
+                "SELECT j.job_id, j.owner, j.workflow_id, j.cmd, j.run_seconds,"
+                "       j.submitted_at, j.state, j.attempts, r.started_at"
+                " FROM jobs j LEFT JOIN runs r ON r.job_id = j.job_id"
+                " WHERE j.job_id IN (SELECT value FROM json_each(?))",
+                (json.dumps(job_ids),),
             )
-            started_at = run["started_at"] if run is not None else None
-            self.container.db.execute("DELETE FROM runs WHERE job_id = ?", (job_id,))
-            job.mark_completed()
-            self.container.db.execute(
+            by_id = {row["job_id"]: row for row in rows}
+            for job_id in job_ids:
+                job = by_id.get(job_id)
+                if job is None:
+                    raise BeanNotFound(f"jobs[{job_id!r}] not found")
+                if job["state"] != "running":
+                    raise BeanStateError(
+                        f"completion for job {job_id} in state {job['state']!r}"
+                    )
+
+            history_rows: List[Tuple] = []
+            accounting_rows: List[Tuple] = []
+            usage_by_owner: Dict[str, float] = {}
+            for job_id, vm_id in completions:
+                job = by_id[job_id]
+                started_at = job["started_at"]
+                wall = (
+                    (now - started_at) if started_at is not None
+                    else job["run_seconds"]
+                )
+                history_rows.append(
+                    (
+                        job_id, job["owner"], job["workflow_id"], job["cmd"],
+                        job["run_seconds"], job["submitted_at"], started_at,
+                        now, vm_id, job["attempts"],
+                    )
+                )
+                accounting_rows.append((job["owner"], job_id, vm_id, wall, now))
+                usage_by_owner[job["owner"]] = (
+                    usage_by_owner.get(job["owner"], 0.0) + wall
+                )
+
+            db.executemany(
+                "DELETE FROM runs WHERE job_id = ?", [(j,) for j in job_ids]
+            )
+            db.executemany(
                 """
                 INSERT INTO job_history
                     (job_id, owner, workflow_id, cmd, run_seconds, submitted_at,
                      started_at, completed_at, final_state, vm_id, attempts)
                 VALUES (?, ?, ?, ?, ?, ?, ?, ?, 'completed', ?, ?)
                 """,
-                (
-                    job_id, job["owner"], job["workflow_id"], job["cmd"],
-                    job["run_seconds"], job["submitted_at"], started_at, now,
-                    vm_id, job["attempts"],
-                ),
+                history_rows,
             )
-            wall = (now - started_at) if started_at is not None else job["run_seconds"]
-            self.container.db.execute(
-                """
-                INSERT INTO accounting (owner, job_id, vm_id, wall_seconds, recorded_at)
-                VALUES (?, ?, ?, ?, ?)
-                """,
-                (job["owner"], job_id, vm_id, wall, now),
+            db.executemany(
+                "INSERT INTO accounting (owner, job_id, vm_id, wall_seconds,"
+                " recorded_at) VALUES (?, ?, ?, ?, ?)",
+                accounting_rows,
             )
-            user = self.container.find(UserBean, job["owner"])
-            user.charge_usage(wall)
-            job.remove()
-            vm = self.container.find_optional(VmBean, vm_id)
-            if vm is not None:
-                vm.set_state("idle", now)
-        self.log.record(now, "job_completed", job_id=job_id, vm_id=vm_id)
+            db.executemany(
+                "UPDATE users SET accumulated_usage_seconds ="
+                " accumulated_usage_seconds + ? WHERE user_name = ?",
+                [(wall, owner) for owner, wall in sorted(usage_by_owner.items())],
+            )
+            # Deleting the job tuple cascades its dependency edges; jobs
+            # waiting on it now pass the scheduling pass's anti-join.
+            db.executemany(
+                "DELETE FROM jobs WHERE job_id = ?", [(j,) for j in job_ids]
+            )
+            db.executemany(
+                "UPDATE vms SET state = 'idle', last_update = ? WHERE vm_id = ?",
+                [(now, vm_id) for _, vm_id in completions],
+            )
+        for job_id, vm_id in completions:
+            self.log.record(now, "job_completed", job_id=job_id, vm_id=vm_id)

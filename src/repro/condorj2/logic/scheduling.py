@@ -5,18 +5,69 @@ database for scheduling algorithm; CAS inserts match tuple, updates related
 job tuple in db."
 
 Where Condor's negotiator pulls every ad into memory and iterates, the
-CondorJ2 scheduler is a handful of SQL statements whose cost is governed by
-indexes, not by queue length — that difference is exactly why Figure 13's
-collapse (Condor) has no CondorJ2 counterpart.  Jobs are matched FIFO
-within user priority; dependency edges hold a job back until its
-prerequisites appear in ``job_history``.
+CondorJ2 scheduler is **two SQL statements whose cost is governed by
+indexes, not by queue length** — that difference is exactly why Figure
+13's collapse (Condor) has no CondorJ2 counterpart.  One ``INSERT INTO
+matches ... SELECT`` pairs the ranked idle VMs with the ranked eligible
+jobs via window functions, and one set ``UPDATE`` flips the matched jobs'
+state; there is no Python loop over jobs or VMs anywhere in the pass.
+
+Jobs are matched FIFO within user priority; a dependency edge in
+``job_dependencies`` holds a job back while its prerequisite is still
+live in ``jobs`` (completed jobs move to ``job_history``), expressed as
+a single indexed anti-join rather than a per-job subquery.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List
 
 from repro.condorj2.beans import BeanContainer
+
+#: The entire scheduling pass, as one set-oriented statement.  Both
+#: ranked sides are numbered with ROW_NUMBER over their scheduling order
+#: and joined on the slot number, so the i-th best job lands on the i-th
+#: idle VM — the relational form of the old Python ``zip``.
+MATCH_INSERT_SQL = """
+INSERT INTO matches (job_id, vm_id, created_at)
+SELECT ranked_jobs.job_id, ranked_vms.vm_id, :now
+FROM (
+    SELECT v.vm_id,
+           ROW_NUMBER() OVER (ORDER BY v.vm_id) AS slot
+    FROM vms v
+    JOIN machines m ON m.machine_name = v.machine_name
+    WHERE v.state = 'idle'
+      AND m.state = 'alive'
+      AND NOT EXISTS (SELECT 1 FROM matches mt WHERE mt.vm_id = v.vm_id)
+      AND NOT EXISTS (SELECT 1 FROM runs r WHERE r.vm_id = v.vm_id)
+    ORDER BY v.vm_id
+    LIMIT :limit
+) AS ranked_vms
+JOIN (
+    SELECT j.job_id,
+           ROW_NUMBER() OVER (ORDER BY u.priority ASC, j.job_id ASC) AS slot
+    FROM jobs j
+    JOIN users u ON u.user_name = j.owner
+    WHERE j.state = 'idle'
+      AND NOT EXISTS (
+          SELECT 1
+          FROM job_dependencies d
+          JOIN jobs p ON p.job_id = d.depends_on_job_id
+          WHERE d.job_id = j.job_id
+      )
+    ORDER BY u.priority ASC, j.job_id ASC
+    LIMIT :limit
+) AS ranked_jobs ON ranked_jobs.slot = ranked_vms.slot
+"""
+
+#: Flip every job the INSERT just claimed.  The state guard makes the
+#: statement exact: a job present in ``matches`` and still 'idle' is by
+#: construction one the current pass created.
+MATCH_UPDATE_SQL = """
+UPDATE jobs SET state = 'matched'
+WHERE state = 'idle'
+  AND job_id IN (SELECT job_id FROM matches)
+"""
 
 
 class SchedulingService:
@@ -27,72 +78,21 @@ class SchedulingService:
         self.passes = 0
         self.matches_created = 0
 
-    def _idle_vms(self, limit: int) -> List[str]:
-        """Idle VMs on alive machines with no pending match or run."""
-        rows = self.container.db.query_all(
-            """
-            SELECT v.vm_id
-            FROM vms v
-            JOIN machines m ON m.machine_name = v.machine_name
-            WHERE v.state = 'idle'
-              AND m.state = 'alive'
-              AND v.vm_id NOT IN (SELECT vm_id FROM matches)
-              AND v.vm_id NOT IN (SELECT vm_id FROM runs)
-            ORDER BY v.vm_id
-            LIMIT ?
-            """,
-            (limit,),
-        )
-        return [row["vm_id"] for row in rows]
-
-    def _eligible_jobs(self, limit: int) -> List[Tuple[int, str]]:
-        """Idle jobs whose dependencies are all complete, best-user first.
-
-        The dependency gate is itself set-oriented: a job is held back
-        while any of its prerequisite ids is still present in ``jobs``
-        (completed jobs move to ``job_history``).
-        """
-        rows = self.container.db.query_all(
-            """
-            SELECT j.job_id, j.depends_on
-            FROM jobs j
-            JOIN users u ON u.user_name = j.owner
-            WHERE j.state = 'idle'
-            ORDER BY u.priority ASC, j.job_id ASC
-            LIMIT ?
-            """,
-            (limit,),
-        )
-        eligible: List[Tuple[int, str]] = []
-        for row in rows:
-            depends_on = row["depends_on"]
-            if depends_on:
-                pending = self.container.db.scalar(
-                    f"SELECT COUNT(*) FROM jobs WHERE job_id IN ({depends_on})"
-                )
-                if pending:
-                    continue
-            eligible.append((row["job_id"], depends_on))
-        return eligible
-
     def run_pass(self, now: float, limit: int = 1000) -> int:
-        """One scheduling pass; returns the number of matches created."""
+        """One scheduling pass; returns the number of matches created.
+
+        Executes O(1) SQL statements regardless of queue length or pool
+        size: one set-oriented INSERT, and one set UPDATE only when the
+        INSERT claimed anything.
+        """
         self.passes += 1
-        created = 0
         with self.container.db.transaction():
-            vms = self._idle_vms(limit)
-            if not vms:
-                return 0
-            jobs = self._eligible_jobs(len(vms))
-            for vm_id, (job_id, _deps) in zip(vms, jobs):
-                self.container.db.execute(
-                    "INSERT INTO matches (job_id, vm_id, created_at) VALUES (?, ?, ?)",
-                    (job_id, vm_id, now),
-                )
-                self.container.db.execute(
-                    "UPDATE jobs SET state = 'matched' WHERE job_id = ?", (job_id,)
-                )
-                created += 1
+            cursor = self.container.db.execute(
+                MATCH_INSERT_SQL, {"now": now, "limit": limit}
+            )
+            created = cursor.rowcount
+            if created:
+                self.container.db.execute(MATCH_UPDATE_SQL)
         self.matches_created += created
         return created
 

@@ -3,16 +3,25 @@
 "User invokes submit job service on CAS; CAS inserts a job tuple into
 database" — Table 2, steps 1-2.  Submission is the simplest illustration
 of the coarse/fine granularity split: one coarse ``submit_jobs`` call maps
-to many fine-grained bean creations inside a single transaction.
+to a handful of *batched* statements inside a single transaction — one
+batch for the owners, one for the job tuples, one for the dependency
+edges — rather than a round trip per job.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.cluster.job import JobSpec
 from repro.condorj2.beans import BeanContainer, JobBean, UserBean, WorkflowBean
-from repro.condorj2.beans.base import BeanNotFound, BeanStateError
+from repro.condorj2.beans.base import BeanStateError
+
+#: OR IGNORE: a duplicate id in a spec's depends_on tuple is harmless
+#: (the edge set is what gates scheduling), and must not abort the batch.
+_DEPENDENCY_INSERT_SQL = (
+    "INSERT OR IGNORE INTO job_dependencies (job_id, depends_on_job_id) "
+    "VALUES (?, ?)"
+)
 
 
 class SubmissionService:
@@ -30,36 +39,49 @@ class SubmissionService:
 
     def submit_job(self, spec: JobSpec, now: float) -> int:
         """Insert one job tuple; returns the job id."""
-        with self.container.db.transaction():
-            self.ensure_user(spec.owner, now)
-            bean = self.container.create(
-                JobBean,
-                job_id=spec.job_id,
-                owner=spec.owner,
-                workflow_id=spec.workflow_id,
-                cmd=spec.cmd,
-                args=" ".join(spec.args),
-                state="idle",
-                run_seconds=spec.run_seconds,
-                image_size_mb=spec.image_size_mb,
-                requirements=spec.requirements,
-                rank=spec.rank,
-                depends_on=",".join(str(dep) for dep in spec.depends_on),
-                submitted_at=now,
-                attempts=0,
-            )
-        return bean.pk_value
+        return self.submit_jobs([spec], now)[0]
 
     def submit_jobs(self, specs: Sequence[JobSpec], now: float) -> List[int]:
-        """Insert a batch of jobs in one transaction (one submit call)."""
-        ids: List[int] = []
-        with self.container.db.transaction():
-            owners = {spec.owner for spec in specs}
-            for owner in sorted(owners):
-                self.ensure_user(owner, now)
-            for spec in specs:
-                ids.append(self.submit_job(spec, now))
-        return ids
+        """Insert a batch of jobs in one transaction (one submit call).
+
+        Three batched statements regardless of batch size: owners, job
+        tuples, dependency edges.
+        """
+        if not specs:
+            return []
+        db = self.container.db
+        with db.transaction():
+            owners = sorted({spec.owner for spec in specs})
+            db.executemany(
+                "INSERT OR IGNORE INTO users (user_name, created_at) VALUES (?, ?)",
+                [(owner, now) for owner in owners],
+            )
+            self.container.create_batch(
+                JobBean,
+                [
+                    {
+                        "job_id": spec.job_id,
+                        "owner": spec.owner,
+                        "workflow_id": spec.workflow_id,
+                        "cmd": spec.cmd,
+                        "args": " ".join(spec.args),
+                        "state": "idle",
+                        "run_seconds": spec.run_seconds,
+                        "image_size_mb": spec.image_size_mb,
+                        "requirements": spec.requirements,
+                        "rank": spec.rank,
+                        "submitted_at": now,
+                        "attempts": 0,
+                    }
+                    for spec in specs
+                ],
+            )
+            edges = [
+                (spec.job_id, dep) for spec in specs for dep in spec.depends_on
+            ]
+            if edges:
+                db.executemany(_DEPENDENCY_INSERT_SQL, edges)
+        return [spec.job_id for spec in specs]
 
     def submit_workflow(
         self, name: str, owner: str, specs: Sequence[JobSpec], now: float
@@ -72,7 +94,7 @@ class SubmissionService:
             )
             for spec in specs:
                 spec.workflow_id = workflow.pk_value
-                self.submit_job(spec, now)
+            self.submit_jobs(specs, now)
         return workflow.pk_value
 
     def remove_job(self, job_id: int) -> None:

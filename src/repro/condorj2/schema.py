@@ -6,7 +6,12 @@ extensibility problem reduces to a data-modeling/schema design problem"
 Condor keeps in daemon memory lives here as a tuple.
 
 Operational tables
-    users, workflows, jobs, machines, vms, matches, runs, config_policies
+    users, workflows, jobs, job_dependencies, machines, vms, matches,
+    runs, config_policies
+
+Dependency edges are first-class tuples (``job_dependencies``), so the
+scheduling pass gates a dependent job with one indexed anti-join instead
+of parsing a comma-separated string per job.
 
 Historical tables (the paper calls out configuration management and
 historical machine information as major CondorJ2 components)
@@ -52,14 +57,28 @@ SCHEMA_STATEMENTS = [
         image_size_mb INTEGER NOT NULL DEFAULT 16,
         requirements  TEXT,
         rank          TEXT,
-        depends_on    TEXT NOT NULL DEFAULT '',
         submitted_at  REAL NOT NULL,
         attempts      INTEGER NOT NULL DEFAULT 0
     )
     """,
-    "CREATE INDEX idx_jobs_state ON jobs(state, job_id)",
+    # Covering index for the scheduling pass's hot predicate: eligible
+    # idle jobs joined to users by owner, scanned in (state, job_id)
+    # order without touching the base table.
+    "CREATE INDEX idx_jobs_state_owner ON jobs(state, owner, job_id)",
     "CREATE INDEX idx_jobs_owner ON jobs(owner)",
     "CREATE INDEX idx_jobs_workflow ON jobs(workflow_id)",
+    """
+    CREATE TABLE job_dependencies (
+        job_id            INTEGER NOT NULL
+                          REFERENCES jobs(job_id) ON DELETE CASCADE,
+        depends_on_job_id INTEGER NOT NULL,
+        PRIMARY KEY (job_id, depends_on_job_id)
+    ) WITHOUT ROWID
+    """,
+    # Reverse edge for "who is waiting on job X" queries; the forward
+    # (job_id, depends_on_job_id) order is the primary key itself.
+    "CREATE INDEX idx_job_dependencies_parent "
+    "ON job_dependencies(depends_on_job_id, job_id)",
     """
     CREATE TABLE machines (
         machine_name  TEXT PRIMARY KEY,
@@ -84,7 +103,9 @@ SCHEMA_STATEMENTS = [
     )
     """,
     "CREATE INDEX idx_vms_machine ON vms(machine_name)",
-    "CREATE INDEX idx_vms_state ON vms(state)",
+    # Covering index for the idle-VM side of the scheduling pass: state
+    # probe resolves machine and vm_id from the index alone.
+    "CREATE INDEX idx_vms_state ON vms(state, machine_name, vm_id)",
     """
     CREATE TABLE matches (
         match_id      INTEGER PRIMARY KEY AUTOINCREMENT,
@@ -93,6 +114,9 @@ SCHEMA_STATEMENTS = [
         created_at    REAL NOT NULL
     )
     """,
+    # Covering index: MATCHINFO assembly reads (vm_id -> job_id) without
+    # the base table (the UNIQUE constraint indexes vm_id alone).
+    "CREATE INDEX idx_matches_vm_job ON matches(vm_id, job_id)",
     """
     CREATE TABLE runs (
         run_id        INTEGER PRIMARY KEY AUTOINCREMENT,
@@ -101,6 +125,7 @@ SCHEMA_STATEMENTS = [
         started_at    REAL NOT NULL
     )
     """,
+    "CREATE INDEX idx_runs_vm_job ON runs(vm_id, job_id)",
     """
     CREATE TABLE job_history (
         job_id        INTEGER PRIMARY KEY,
@@ -117,6 +142,8 @@ SCHEMA_STATEMENTS = [
     )
     """,
     "CREATE INDEX idx_job_history_owner ON job_history(owner)",
+    # Throughput-by-minute reports scan completions in time order.
+    "CREATE INDEX idx_job_history_completed ON job_history(completed_at)",
     """
     CREATE TABLE machine_boot_history (
         boot_id       INTEGER PRIMARY KEY AUTOINCREMENT,
@@ -206,14 +233,18 @@ SCHEMA_STATEMENTS = [
 
 #: Tables in the operational schema, in creation order.
 TABLES = [
-    "users", "workflows", "jobs", "machines", "vms", "matches", "runs",
-    "job_history", "machine_boot_history", "machine_history",
-    "config_policies", "config_history", "accounting",
+    "users", "workflows", "jobs", "job_dependencies", "machines", "vms",
+    "matches", "runs", "job_history", "machine_boot_history",
+    "machine_history", "config_policies", "config_history", "accounting",
     "datasets", "dataset_replicas", "provenance",
 ]
 
 #: Job states permitted by the CHECK constraint, mirroring JobState.
 JOB_STATES = ("idle", "matched", "running", "completed", "removed", "held")
+
+#: VM slot states permitted by the CHECK constraint; the single source of
+#: truth for the bean layer and the heartbeat service.
+VM_STATES = ("idle", "claiming", "busy", "offline")
 
 #: Valid job state transitions enforced by the JobBean.
 JOB_TRANSITIONS = {

@@ -1,0 +1,32 @@
+"""The CondorJ2 storage layer: pluggable engines with statement accounting.
+
+Public surface:
+
+* :class:`StorageEngine` / :class:`SqliteStorageEngine` — the backend
+  contract and the bundled SQLite implementation;
+* :class:`StatementCounts` — centralized per-verb statement accounting;
+* :class:`PreparedStatementCache` — the LRU statement cache engines put
+  in front of SQL compilation;
+* :class:`DatabaseError` — the layer's single error type.
+"""
+
+from repro.condorj2.storage.counters import StatementCounts, statement_verb
+from repro.condorj2.storage.engine import (
+    DatabaseError,
+    SqliteStorageEngine,
+    StorageEngine,
+)
+from repro.condorj2.storage.statements import (
+    PreparedStatement,
+    PreparedStatementCache,
+)
+
+__all__ = [
+    "DatabaseError",
+    "PreparedStatement",
+    "PreparedStatementCache",
+    "SqliteStorageEngine",
+    "StatementCounts",
+    "StorageEngine",
+    "statement_verb",
+]

@@ -1,0 +1,101 @@
+"""Centralized statement accounting for the storage engine.
+
+The application server turns these counts into simulated CPU/IO charges
+(DESIGN.md section 3).  The invariant that makes the cost model honest is
+that **batched execution still counts per row**: an ``executemany`` over
+500 job tuples charges 500 inserts of CPU, exactly as 500 individual
+statements would — what batching saves is per-statement dispatch (one
+``batches`` tick instead of 500) and statement preparation (the LRU
+prepared-statement cache turns repeated SQL text into ``prepared_hits``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class StatementCounts:
+    """Running counts of executed statements, by verb.
+
+    ``select``/``insert``/``update``/``delete``/``other`` count *rows of
+    work*: one per SELECT, one per row affected by set-oriented DML, one
+    per parameter row of a batched statement.  ``statements`` counts
+    dispatches (one per ``execute``/``executemany`` call — the quantity
+    that must stay O(1) per scheduling pass), ``batches`` counts batched
+    dispatches, ``prepared_misses`` counts statement-cache compilations
+    and ``prepared_hits`` counts reuses of an already-prepared statement.
+    """
+
+    select: int = 0
+    insert: int = 0
+    update: int = 0
+    delete: int = 0
+    other: int = 0
+    commits: int = 0
+    statements: int = 0
+    batches: int = 0
+    prepared_hits: int = 0
+    prepared_misses: int = 0
+
+    def total(self) -> int:
+        """All verb work — row touches, not dispatches (commits excluded).
+
+        The number of SQL statements *sent to the engine* is
+        :attr:`statements`; ``total()`` is what the cost model prices.
+        """
+        return self.select + self.insert + self.update + self.delete + self.other
+
+    def snapshot(self) -> "StatementCounts":
+        """An independent copy for before/after deltas."""
+        return StatementCounts(
+            select=self.select,
+            insert=self.insert,
+            update=self.update,
+            delete=self.delete,
+            other=self.other,
+            commits=self.commits,
+            statements=self.statements,
+            batches=self.batches,
+            prepared_hits=self.prepared_hits,
+            prepared_misses=self.prepared_misses,
+        )
+
+    def delta(self, earlier: "StatementCounts") -> "StatementCounts":
+        """Counts accumulated since ``earlier``."""
+        return StatementCounts(
+            select=self.select - earlier.select,
+            insert=self.insert - earlier.insert,
+            update=self.update - earlier.update,
+            delete=self.delete - earlier.delete,
+            other=self.other - earlier.other,
+            commits=self.commits - earlier.commits,
+            statements=self.statements - earlier.statements,
+            batches=self.batches - earlier.batches,
+            prepared_hits=self.prepared_hits - earlier.prepared_hits,
+            prepared_misses=self.prepared_misses - earlier.prepared_misses,
+        )
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record(self, verb: str, rows: int = 1) -> None:
+        """Charge ``rows`` units of work to ``verb``."""
+        if verb == "SELECT":
+            self.select += rows
+        elif verb == "INSERT":
+            self.insert += rows
+        elif verb == "UPDATE":
+            self.update += rows
+        elif verb == "DELETE":
+            self.delete += rows
+        else:
+            self.other += rows
+
+
+def statement_verb(sql: str) -> str:
+    """The leading SQL verb of ``sql``, upper-cased ('' when blank)."""
+    stripped = sql.lstrip()
+    if not stripped:
+        return ""
+    return stripped.split(None, 1)[0].upper()

@@ -150,11 +150,49 @@ def test_job_drop_cycle(container):
     assert job["attempts"] == 2
 
 
-def test_job_depends_on_parsing(container):
-    job = make_job(container, depends_on="3,5,9")
+def test_job_dependency_edges(container):
+    job = make_job(container)
+    container.db.executemany(
+        "INSERT INTO job_dependencies (job_id, depends_on_job_id) VALUES (?, ?)",
+        [(job.pk_value, dep) for dep in (5, 3, 9)],
+    )
     assert job.depends_on_ids() == [3, 5, 9]
-    lone = make_job(container, depends_on="")
+    lone = make_job(container)
     assert lone.depends_on_ids() == []
+
+
+def test_create_batch_inserts_without_beans(container):
+    before = container.instantiations
+    created = container.create_batch(
+        UserBean,
+        [
+            {"user_name": "a", "created_at": 0.0},
+            {"user_name": "b", "created_at": 0.0},
+        ],
+    )
+    assert created == 2
+    assert container.instantiations == before  # footnote 1: no bean per tuple
+    assert container.count_where(UserBean) == 2
+    assert container.db.counts.batches >= 1
+
+
+def test_create_batch_rejects_heterogeneous_rows(container):
+    with pytest.raises(DatabaseError):
+        container.create_batch(
+            UserBean,
+            [
+                {"user_name": "a", "created_at": 0.0},
+                {"created_at": 0.0, "user_name": "b"},
+            ],
+        )
+
+
+def test_create_batch_rejects_unknown_columns(container):
+    with pytest.raises(DatabaseError):
+        container.create_batch(
+            UserBean,
+            [{"user_name": "a", "created_at": 0.0, "cmd) SELECT": "x"}],
+        )
 
 
 def test_job_invariant_rejects_bad_update(container):

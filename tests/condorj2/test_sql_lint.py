@@ -1,0 +1,100 @@
+"""Grep-style lint: no SQL built by interpolating *values* into f-strings.
+
+The pre-refactor scheduler gated dependencies with
+``f"SELECT COUNT(*) ... IN ({depends_on})"`` — an injection-prone
+interpolation of a database value into SQL text.  The normalized
+``job_dependencies`` table removed it; this lint keeps it (and anything
+like it) from coming back.
+
+The bean container legitimately interpolates *identifiers* (table and
+column names drawn from class-level schema constants) and placeholder
+lists (``"?, ?"`` strings) — those are allow-listed by the exact
+expression text, so any new interpolation site fails the lint until it
+is reviewed and either parameterized or added here.
+"""
+
+import ast
+from pathlib import Path
+
+SRC_ROOT = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+#: Substrings (upper-cased) that mark an f-string as SQL-bearing.
+SQL_MARKERS = (
+    "SELECT ", "INSERT ", "UPDATE ", "DELETE ", " FROM ", " WHERE ",
+    " VALUES ",
+)
+
+#: Exact expression texts allowed inside SQL f-strings: schema-constant
+#: identifiers and placeholder/assignment lists built from ``?`` tokens.
+ALLOWED_EXPRESSIONS = {
+    # bean container: identifiers from class-level schema constants
+    "self.TABLE", "self.PK",
+    "bean_class.TABLE", "bean_class.PK",
+    # bean container: "?"-lists and "col = ?"-lists
+    "assignments", "columns", "column_list", "placeholders",
+    # finder-method API: caller-supplied parameterized clause fragments
+    "where", "order_by", "int(limit)",
+    # access layer: identifier validated against the schema
+    "table",
+}
+
+
+def _sql_fstrings(tree):
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.JoinedStr):
+            continue
+        literal = "".join(
+            part.value
+            for part in node.values
+            if isinstance(part, ast.Constant) and isinstance(part.value, str)
+        ).upper()
+        if any(marker in literal for marker in SQL_MARKERS):
+            yield node
+
+
+def _violations(root):
+    found = []
+    for path in sorted(root.rglob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in _sql_fstrings(tree):
+            for part in node.values:
+                if not isinstance(part, ast.FormattedValue):
+                    continue
+                expression = ast.unparse(part.value)
+                if expression not in ALLOWED_EXPRESSIONS:
+                    found.append(
+                        f"{path.relative_to(root.parent)}:{node.lineno}: "
+                        f"{{{expression}}} interpolated into SQL"
+                    )
+    return found
+
+
+def test_no_value_interpolation_into_sql():
+    violations = _violations(SRC_ROOT)
+    assert violations == [], (
+        "SQL must be parameterized (or the identifier expression "
+        "reviewed and allow-listed):\n" + "\n".join(violations)
+    )
+
+
+def test_lint_catches_the_original_offender():
+    """The exact pattern removed from scheduling.py:71 must be flagged."""
+    offender = ast.parse(
+        'db.scalar(f"SELECT COUNT(*) FROM jobs WHERE job_id IN ({depends_on})")'
+    )
+    nodes = list(_sql_fstrings(offender))
+    assert len(nodes) == 1
+    expressions = [
+        ast.unparse(part.value)
+        for part in nodes[0].values
+        if isinstance(part, ast.FormattedValue)
+    ]
+    assert expressions == ["depends_on"]
+    assert all(expr not in ALLOWED_EXPRESSIONS for expr in expressions)
+
+
+def test_scheduling_module_has_no_fstring_sql():
+    """The scheduling pass is pure parameterized SQL, no f-strings at all."""
+    path = SRC_ROOT / "condorj2" / "logic" / "scheduling.py"
+    tree = ast.parse(path.read_text(), filename=str(path))
+    assert list(_sql_fstrings(tree)) == []

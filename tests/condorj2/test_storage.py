@@ -1,0 +1,413 @@
+"""Tests for the storage engine, batched execution and the set-oriented
+scheduling pass.
+
+Covers the storage-layer contracts the cost model depends on:
+
+* prepared-statement cache hit/miss accounting (LRU semantics);
+* batched execution charging per-row verb counts plus one batch;
+* the one-statement scheduling pass producing exactly the matches the
+  old row-at-a-time Python loop produced on a seeded workload;
+* dependency gating across ``jobs``/``job_history``;
+* O(1) statements per scheduling pass, independent of queue length.
+"""
+
+import random
+
+import pytest
+
+from repro.cluster import JobSpec
+from repro.condorj2.beans import BeanContainer
+from repro.condorj2.costs import CasCostModel
+from repro.condorj2.database import Database
+from repro.condorj2.logic import (
+    HeartbeatService,
+    LifecycleService,
+    SchedulingService,
+    SubmissionService,
+)
+from repro.condorj2.storage import (
+    PreparedStatementCache,
+    SqliteStorageEngine,
+    StatementCounts,
+)
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    yield database
+    database.close()
+
+
+@pytest.fixture
+def services():
+    container = BeanContainer(Database())
+    submission = SubmissionService(container)
+    scheduling = SchedulingService(container)
+    lifecycle = LifecycleService(container)
+    heartbeat = HeartbeatService(container, scheduling, lifecycle)
+    return container, submission, scheduling, lifecycle, heartbeat
+
+
+def register_machine(heartbeat, name="m1", vm_count=2, now=0.0):
+    heartbeat.register_machine({"name": name, "vm_count": vm_count}, now)
+
+
+# ----------------------------------------------------------------------
+# prepared-statement cache
+# ----------------------------------------------------------------------
+def test_cache_hits_and_misses_are_counted(db):
+    db.execute("SELECT 1")
+    db.execute("SELECT 1")
+    db.execute("SELECT 2")
+    assert db.statement_cache.misses == 2
+    assert db.statement_cache.hits == 1
+    assert db.counts.prepared_misses == 2
+    assert db.counts.prepared_hits == 1
+    assert db.statement_cache.hit_rate() == pytest.approx(1 / 3)
+
+
+def test_cache_evicts_least_recently_used():
+    cache = PreparedStatementCache(capacity=2)
+    cache.prepare("a")
+    cache.prepare("b")
+    cache.prepare("a")  # refresh a: b is now LRU
+    cache.prepare("c")  # evicts b
+    assert cache.evictions == 1
+    assert "a" in cache and "c" in cache and "b" not in cache
+    assert cache.prepare("b") is False  # re-admitted as a miss
+
+
+def test_cache_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        PreparedStatementCache(capacity=0)
+
+
+def test_engine_cache_size_is_configurable():
+    engine = SqliteStorageEngine(statement_cache_size=3)
+    db = Database(engine=engine)
+    for i in range(5):
+        db.execute(f"SELECT {i}")  # sql-ident: distinct statement texts
+    assert len(db.statement_cache) == 3
+    assert db.statement_cache.evictions == 2
+    db.close()
+
+
+def test_cost_model_wires_cache_size_into_cas():
+    from repro.condorj2 import CasCostModel as Costs
+    from repro.condorj2.cas import CondorJ2ApplicationServer
+    from repro.sim.cpu import quad_xeon
+    from repro.sim.kernel import Simulator
+    from repro.sim.network import Network
+
+    sim = Simulator(seed=0)
+    cas = CondorJ2ApplicationServer(
+        sim, quad_xeon(sim, "srv"), Network(sim),
+        costs=Costs(prepared_statement_cache_size=7),
+    )
+    assert cas.db.statement_cache.capacity == 7
+
+
+# ----------------------------------------------------------------------
+# batched execution accounting
+# ----------------------------------------------------------------------
+def test_executemany_counts_per_row_and_one_batch(db):
+    before = db.counts.snapshot()
+    db.executemany(
+        "INSERT INTO users (user_name, created_at) VALUES (?, ?)",
+        [(f"u{i}", 0.0) for i in range(25)],
+    )
+    delta = db.counts.delta(before)
+    assert delta.insert == 25  # per-row, exactly as 25 single statements
+    assert delta.batches == 1
+    assert db.table_count("users") == 25
+
+
+def test_batch_cpu_cost_equals_per_row_cost_plus_dispatch():
+    costs = CasCostModel()
+    rowwise = StatementCounts(insert=100)
+    batched = StatementCounts(insert=100, batches=1)
+    assert costs.sql_cost_seconds(batched) == pytest.approx(
+        costs.sql_cost_seconds(rowwise) + costs.batch_dispatch_seconds
+    )
+
+
+def test_prepare_cost_charged_per_cache_miss():
+    costs = CasCostModel()
+    delta = StatementCounts(select=2, prepared_misses=1, prepared_hits=1)
+    assert costs.sql_cost_seconds(delta) == pytest.approx(
+        2 * costs.select_seconds + costs.statement_prepare_seconds
+    )
+
+
+def test_executemany_rolls_back_with_transaction(db):
+    with pytest.raises(RuntimeError):
+        with db.transaction():
+            db.executemany(
+                "INSERT INTO users (user_name, created_at) VALUES (?, ?)",
+                [("x", 0.0), ("y", 0.0)],
+            )
+            raise RuntimeError("abort")
+    assert db.table_count("users") == 0
+
+
+def test_pluggable_engine_is_used(db):
+    engine = SqliteStorageEngine()
+    database = Database(engine=engine)
+    database.execute("SELECT 1")
+    assert engine.counts.select == 1
+    assert database.counts is engine.counts
+    database.close()
+
+
+def test_completion_batch_sizes_share_statement_text(services):
+    """The whole lifecycle flow converges on a fixed SQL working set:
+    a different completion batch size must not mint new cache entries."""
+    container, submission, scheduling, lifecycle, heartbeat = services
+    register_machine(heartbeat, "m1", vm_count=3)
+
+    def run_batch(specs):
+        submission.submit_jobs(specs, now=0.0)
+        scheduling.run_pass(now=1.0)
+        pairs = [
+            (row["job_id"], row["vm_id"])
+            for row in container.db.query_all("SELECT job_id, vm_id FROM matches")
+        ]
+        for job_id, vm_id in pairs:
+            lifecycle.accept_match(job_id, vm_id, now=2.0)
+        lifecycle.complete_jobs(pairs, now=3.0)
+
+    run_batch([JobSpec()])
+    misses_before = container.db.statement_cache.misses
+    run_batch([JobSpec(), JobSpec(), JobSpec()])
+    assert container.db.statement_cache.misses == misses_before
+
+
+# ----------------------------------------------------------------------
+# set-oriented scheduling pass vs the row-at-a-time reference loop
+# ----------------------------------------------------------------------
+def _reference_pass_pairs(db, limit=1000):
+    """The pre-refactor algorithm: ranked lists zipped in Python.
+
+    Dependency gating is applied before the limit (the set form's
+    semantics; the old loop let gated jobs consume limit slots, which
+    under-filled VMs — a bug the set-oriented pass fixed).
+    """
+    vms = [
+        row["vm_id"]
+        for row in db.query_all(
+            """
+            SELECT v.vm_id
+            FROM vms v
+            JOIN machines m ON m.machine_name = v.machine_name
+            WHERE v.state = 'idle'
+              AND m.state = 'alive'
+              AND v.vm_id NOT IN (SELECT vm_id FROM matches)
+              AND v.vm_id NOT IN (SELECT vm_id FROM runs)
+            ORDER BY v.vm_id
+            LIMIT ?
+            """,
+            (limit,),
+        )
+    ]
+    eligible = []
+    for row in db.query_all(
+        """
+        SELECT j.job_id
+        FROM jobs j
+        JOIN users u ON u.user_name = j.owner
+        WHERE j.state = 'idle'
+        ORDER BY u.priority ASC, j.job_id ASC
+        """
+    ):
+        pending = db.scalar(
+            """
+            SELECT COUNT(*) FROM job_dependencies d
+            JOIN jobs p ON p.job_id = d.depends_on_job_id
+            WHERE d.job_id = ?
+            """,
+            (row["job_id"],),
+        )
+        if not pending:
+            eligible.append(row["job_id"])
+        if len(eligible) >= len(vms):
+            break
+    return list(zip(eligible, vms))
+
+
+def _seed_workload(services, rng):
+    """A messy pool: machines in all states, jobs in all states."""
+    container, submission, scheduling, lifecycle, heartbeat = services
+    for m in range(12):
+        register_machine(heartbeat, f"m{m:02d}", vm_count=rng.randint(1, 4))
+    # Most machines go silent and are swept to 'missing'; a couple keep
+    # heartbeating, so the pass must skip VMs on dead machines.
+    for name in ("m00", "m01", "m02", "m03"):
+        heartbeat.process({"machine": name, "vms": [], "events": []}, now=500.0)
+    heartbeat.mark_missing_machines(now=1000.0, timeout_seconds=900.0)
+    for name in ("m00", "m01", "m02", "m03"):
+        heartbeat.process({"machine": name, "vms": [], "events": []}, now=1000.0)
+
+    owners = [f"user{u}" for u in range(5)]
+    specs = []
+    for _ in range(60):
+        spec = JobSpec(owner=rng.choice(owners), run_seconds=rng.uniform(10, 90))
+        if specs and rng.random() < 0.4:
+            parents = rng.sample(specs, k=min(len(specs), rng.randint(1, 3)))
+            spec.depends_on = tuple(parent.job_id for parent in parents)
+        specs.append(spec)
+    submission.submit_jobs(specs, now=1.0)
+    for owner in owners:
+        container.db.execute(
+            "UPDATE users SET priority = ? WHERE user_name = ?",
+            (rng.random(), owner),
+        )
+    # Run some jobs to completion so history-gated dependencies open up,
+    # and leave some matches/runs in flight.
+    scheduling.run_pass(now=2.0)
+    matches = container.db.query_all("SELECT job_id, vm_id FROM matches")
+    for index, row in enumerate(matches):
+        if index % 3 == 0:
+            continue  # leave pending
+        lifecycle.accept_match(row["job_id"], row["vm_id"], now=3.0)
+        if index % 3 == 1:
+            lifecycle.complete_job(row["job_id"], row["vm_id"], now=50.0)
+    return container
+
+
+@pytest.mark.parametrize("seed", [7, 21, 1234])
+def test_set_oriented_pass_matches_reference_loop(services, seed):
+    container, _, scheduling, _, _ = services
+    rng = random.Random(seed)
+    _seed_workload(services, rng)
+    expected = _reference_pass_pairs(container.db)
+    before = {
+        (row["job_id"], row["vm_id"])
+        for row in container.db.query_all("SELECT job_id, vm_id FROM matches")
+    }
+    created = scheduling.run_pass(now=100.0)
+    after = [
+        (row["job_id"], row["vm_id"])
+        for row in container.db.query_all(
+            "SELECT job_id, vm_id FROM matches ORDER BY vm_id"
+        )
+        if (row["job_id"], row["vm_id"]) not in before
+    ]
+    assert created == len(expected)
+    assert sorted(after) == sorted(expected)
+    # Every matched job was flipped by the single set UPDATE.
+    for job_id, _ in expected:
+        state = container.db.scalar(
+            "SELECT state FROM jobs WHERE job_id = ?", (job_id,)
+        )
+        assert state == "matched"
+
+
+# ----------------------------------------------------------------------
+# dependency gating across jobs / job_history
+# ----------------------------------------------------------------------
+def test_dependency_gates_until_parent_reaches_history(services):
+    container, submission, scheduling, lifecycle, heartbeat = services
+    register_machine(heartbeat, vm_count=2)
+    parent = JobSpec(run_seconds=30.0)
+    child = JobSpec(depends_on=(parent.job_id,))
+    submission.submit_jobs([parent, child], now=0.0)
+    scheduling.run_pass(now=1.0)
+    matched = [
+        row["job_id"]
+        for row in container.db.query_all("SELECT job_id FROM matches")
+    ]
+    assert matched == [parent.job_id]  # child gated: parent still in jobs
+    match = container.db.query_one("SELECT vm_id FROM matches")
+    lifecycle.accept_match(parent.job_id, match["vm_id"], now=2.0)
+    lifecycle.complete_job(parent.job_id, match["vm_id"], now=32.0)
+    assert container.db.scalar(
+        "SELECT COUNT(*) FROM job_history WHERE job_id = ?", (parent.job_id,)
+    ) == 1
+    scheduling.run_pass(now=33.0)
+    matched = [
+        row["job_id"]
+        for row in container.db.query_all("SELECT job_id FROM matches")
+    ]
+    assert child.job_id in matched
+
+
+def test_dependency_on_unknown_job_does_not_gate(services):
+    container, submission, scheduling, _, heartbeat = services
+    register_machine(heartbeat, vm_count=1)
+    orphan = JobSpec(depends_on=(987654321,))
+    submission.submit_jobs([orphan], now=0.0)
+    assert scheduling.run_pass(now=1.0) == 1
+
+
+def test_duplicate_dependency_ids_do_not_abort_batch(services):
+    container, submission, _, _, _ = services
+    parent = JobSpec()
+    child = JobSpec(depends_on=(parent.job_id, parent.job_id))
+    submission.submit_jobs([parent, child], now=0.0)
+    assert container.db.table_count("job_dependencies") == 1
+    assert container.db.table_count("jobs") == 2
+
+
+def test_dependency_edges_cascade_with_job_deletion(services):
+    container, submission, _, _, _ = services
+    parent = JobSpec()
+    child = JobSpec(depends_on=(parent.job_id,))
+    submission.submit_jobs([parent, child], now=0.0)
+    assert container.db.table_count("job_dependencies") == 1
+    submission.remove_job(child.job_id)
+    assert container.db.table_count("job_dependencies") == 0
+
+
+# ----------------------------------------------------------------------
+# O(1) statements per scheduling pass
+# ----------------------------------------------------------------------
+def _statements_for_queue_depth(n_jobs):
+    container = BeanContainer(Database())
+    submission = SubmissionService(container)
+    scheduling = SchedulingService(container)
+    lifecycle = LifecycleService(container)
+    heartbeat = HeartbeatService(container, scheduling, lifecycle)
+    for m in range(4):
+        register_machine(heartbeat, f"m{m}", vm_count=4)
+    submission.submit_jobs(
+        [JobSpec(owner=f"u{i % 7}") for i in range(n_jobs)], now=0.0
+    )
+    before = container.db.counts.snapshot()
+    created = scheduling.run_pass(now=1.0)
+    delta = container.db.counts.delta(before)
+    assert created == 16  # all VMs filled regardless of depth
+    return delta.statements, delta.total(), delta.commits
+
+
+def test_run_pass_statement_count_flat_in_queue_length():
+    shallow = _statements_for_queue_depth(50)
+    deep = _statements_for_queue_depth(2000)
+    assert shallow == deep
+    statements, row_work, commits = deep
+    assert statements == 2  # one INSERT..SELECT, one set UPDATE
+    assert row_work == 32  # per-row CPU accounting: 16 inserts + 16 updates
+    assert commits == 1
+
+
+def test_set_dml_charges_per_affected_row(services):
+    """The set-oriented pass costs the CPU model what the old loop did."""
+    container, submission, scheduling, _, heartbeat = services
+    register_machine(heartbeat, vm_count=4)
+    submission.submit_jobs([JobSpec() for _ in range(10)], now=0.0)
+    before = container.db.counts.snapshot()
+    created = scheduling.run_pass(now=1.0)
+    delta = container.db.counts.delta(before)
+    assert created == 4
+    assert delta.insert == 4  # one INSERT..SELECT, four match rows
+    assert delta.update == 4  # one set UPDATE, four jobs flipped
+    assert delta.statements == 2
+
+
+def test_idle_pass_executes_single_statement(services):
+    container, _, scheduling, _, _ = services
+    before = container.db.counts.snapshot()
+    assert scheduling.run_pass(now=1.0) == 0
+    delta = container.db.counts.delta(before)
+    assert delta.statements == 1  # the INSERT..SELECT found nothing; no UPDATE
+    assert delta.total() == 1  # a no-op statement still costs one probe
