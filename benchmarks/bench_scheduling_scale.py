@@ -5,8 +5,13 @@ scheduling pass over a 1,000-job queue and over a 50,000-job queue must
 execute the *same number of SQL statements* — the work is pushed into
 the database's indexed access paths, not a Python loop.  The bench also
 records wall-clock per pass so regressions in the set-oriented plan
-(e.g. a lost index) show up as timing collapse at the deep end.
+(e.g. a lost index) show up as timing collapse at the deep end, and runs
+a sqlite-vs-memory backend comparison so the second `StorageEngine`
+implementation is held to the same statement-count contract (and its
+interpreter overhead is visible as a wall-clock ratio, not a guess).
 """
+
+import time
 
 import pytest
 
@@ -22,10 +27,11 @@ from repro.condorj2.logic import (
 
 QUEUE_DEPTHS = (1_000, 10_000, 50_000)
 VM_COUNT = 64
+BACKENDS = ("sqlite", "memory")
 
 
-def _pool_with_queue(n_jobs):
-    container = BeanContainer(Database())
+def _pool_with_queue(n_jobs, backend=None):
+    container = BeanContainer(Database(backend=backend))
     submission = SubmissionService(container)
     scheduling = SchedulingService(container)
     lifecycle = LifecycleService(container)
@@ -87,3 +93,40 @@ def test_scheduling_pass_wall_clock_by_depth(benchmark, depth):
         return scheduling.run_pass(now=float(scheduling.passes + 1))
 
     benchmark.pedantic(one_pass, rounds=3, iterations=1, warmup_rounds=1)
+
+
+def test_scheduling_pass_backend_comparison(benchmark):
+    """sqlite vs memory on the same workload: identical statement counts
+    and matches, with per-backend wall-clock reported side by side."""
+    depth = 10_000
+    observations = {}
+
+    def run_backends():
+        for backend in BACKENDS:
+            container, scheduling = _pool_with_queue(depth, backend=backend)
+            start = time.perf_counter()
+            created, statements, commits = _pass_statements(
+                container, scheduling, now=1.0
+            )
+            elapsed = time.perf_counter() - start
+            observations[backend] = (created, statements, commits, elapsed)
+
+    benchmark.pedantic(run_backends, rounds=1, iterations=1)
+
+    print()
+    baseline = observations[BACKENDS[0]][3]
+    for backend in BACKENDS:
+        created, statements, commits, elapsed = observations[backend]
+        ratio = elapsed / baseline if baseline else float("inf")
+        print(
+            f"backend={backend:>7}: {created} matches, "
+            f"{statements} statements, {commits} commits, "
+            f"{elapsed * 1e3:7.2f} ms/pass ({ratio:5.2f}x sqlite)"
+        )
+    shapes = {
+        (created, statements, commits)
+        for created, statements, commits, _ in observations.values()
+    }
+    assert shapes == {(VM_COUNT, 2, 1)}, (
+        f"backends disagree on the pass contract: {observations}"
+    )

@@ -69,10 +69,11 @@ class CondorJ2ApplicationServer:
         self.network = network
         self.address = address
         self.costs = costs or CasCostModel()
-        # The engine's prepared-statement cache is container
-        # configuration, so the cost model owns its size.
+        # The engine's prepared-statement cache and backend choice are
+        # container configuration, so the cost model owns both.
         self.db = database or Database(
-            statement_cache_size=self.costs.prepared_statement_cache_size
+            statement_cache_size=self.costs.prepared_statement_cache_size,
+            backend=self.costs.storage_backend or None,
         )
         self.log = log if log is not None else EventLog()
 
@@ -115,7 +116,9 @@ class CondorJ2ApplicationServer:
         if self._started:
             return
         self._started = True
-        self.config.install_defaults(self.sim.now)
+        self.config.install_defaults(
+            self.sim.now, extra={"storage_backend": self.db.engine.name}
+        )
         self.sim.spawn(self._startup(), name="cas.startup")
         self.sim.spawn(self._scheduler_loop(), name="cas.scheduler")
         self.sim.spawn(self._db_background_loop(), name="cas.db-background")

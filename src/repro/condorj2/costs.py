@@ -62,6 +62,10 @@ class CasCostModel:
     #: Capacity of the engine's LRU prepared-statement cache (the
     #: container's PreparedStatement cache in the paper's stack).
     prepared_statement_cache_size: int = 128
+    #: Storage backend name/URL for the operational store ("sqlite",
+    #: "memory", ...); empty string defers to the environment default
+    #: (``CONDORJ2_STORAGE_ENGINE``), then SQLite in memory.
+    storage_backend: str = ""
 
     # -- container -------------------------------------------------------
     #: Concurrent request-handling threads in the web/EJB containers.

@@ -27,9 +27,9 @@ from repro.condorj2.schema import SCHEMA_STATEMENTS
 from repro.condorj2.storage import (
     DatabaseError,
     PreparedStatementCache,
-    SqliteStorageEngine,
     StatementCounts,
     StorageEngine,
+    create_engine,
 )
 
 __all__ = [
@@ -43,9 +43,16 @@ __all__ = [
 class Database:
     """The operational store, backed by a pluggable :class:`StorageEngine`.
 
-    By default an in-memory :class:`SqliteStorageEngine` is created; pass
-    ``engine`` to substitute a different backend (or a differently tuned
-    SQLite engine), or ``path`` for a durable SQLite file.
+    Backend resolution, most specific first:
+
+    * ``engine`` — a ready-made :class:`StorageEngine` instance;
+    * ``backend`` — a registry name or URL (``"memory"``,
+      ``"sqlite:///var/pool.db"``), resolved via
+      :func:`repro.condorj2.storage.create_engine`;
+    * ``path`` — a storage URL or SQLite path (``"memory://"`` selects
+      the dict-backed engine, anything else is a SQLite location);
+    * the ``CONDORJ2_STORAGE_ENGINE`` environment variable, then SQLite
+      in memory.
     """
 
     def __init__(
@@ -53,10 +60,16 @@ class Database:
         path: str = ":memory:",
         engine: Optional[StorageEngine] = None,
         statement_cache_size: int = 128,
+        backend: Optional[str] = None,
     ):
-        self.engine = engine or SqliteStorageEngine(
-            path, statement_cache_size=statement_cache_size
-        )
+        if engine is None:
+            spec = backend
+            if spec is None and path != ":memory:":
+                spec = path
+            engine = create_engine(
+                spec, path=path, statement_cache_size=statement_cache_size
+            )
+        self.engine = engine
         self._in_transaction = False
         self.engine.run_script(SCHEMA_STATEMENTS)
 

@@ -29,10 +29,20 @@ class ConfigService:
     def __init__(self, container: BeanContainer):
         self.container = container
 
-    def install_defaults(self, now: float) -> None:
-        """Create any missing default policies."""
+    def install_defaults(
+        self, now: float, extra: Optional[Dict[str, str]] = None
+    ) -> None:
+        """Create any missing default policies.
+
+        ``extra`` supplies deployment-determined defaults on top of
+        :data:`DEFAULT_POLICIES` — the CAS records the active storage
+        backend this way so the admin console can report it.
+        """
+        defaults = dict(DEFAULT_POLICIES)
+        if extra:
+            defaults.update(extra)
         with self.container.db.transaction():
-            for name, value in DEFAULT_POLICIES.items():
+            for name, value in defaults.items():
                 if self.container.find_optional(PolicyBean, name) is None:
                     self.container.create(
                         PolicyBean,

@@ -10,6 +10,14 @@ A heartbeat is set-oriented on the server side: the machine refresh is
 one guarded UPDATE, the reported VM states are one batched UPDATE, and
 embedded completion events are handed to the lifecycle service as one
 batch.
+
+The MATCHINFO probe is further gated by a server-side per-machine dirty
+flag: match tuples can only appear through writes to ``matches``, and the
+storage layer's per-table statistics expose a monotonic write counter for
+exactly that table.  When a machine's pending set was observed empty and
+the counter has not moved since, the per-beat MATCHINFO SELECT is skipped
+entirely — the idle pool costs a fixed three statements per beat instead
+of five.
 """
 
 from __future__ import annotations
@@ -42,6 +50,12 @@ class HeartbeatService:
         #: the defining property of the pull model.
         self.inline_scheduling = inline_scheduling
         self.heartbeats_processed = 0
+        #: machine -> (matches write counter, rollback counter) when its
+        #: pending-match set was last observed empty.  While neither has
+        #: moved, nothing can be pending and the per-beat MATCHINFO
+        #: SELECT is skipped (the ROADMAP idle-SQL item).
+        self._no_pending_marks: Dict[str, Tuple[int, int]] = {}
+        self.matchinfo_selects_skipped = 0
 
     # ------------------------------------------------------------------
     # machine registration
@@ -114,13 +128,37 @@ class HeartbeatService:
                     "UPDATE vms SET state = ?, last_update = ? WHERE vm_id = ?",
                     vm_updates,
                 )
-        matches = self.scheduling.pending_matches_for_machine(machine_name)
+        matches = self._pending_matches(machine_name)
         if not matches and self.inline_scheduling and self._has_idle_vm(machine_name):
             self.scheduling.run_pass(now)
-            matches = self.scheduling.pending_matches_for_machine(machine_name)
+            matches = self._pending_matches(machine_name)
         if matches:
             return {"status": "MATCHINFO", "matches": matches}
         return {"status": "OK", "matches": []}
+
+    def _pending_matches(self, machine_name: str) -> List[dict]:
+        """The machine's pending matches, behind the dirty-flag gate.
+
+        Sound because the MATCHINFO payload can only change when a row is
+        written to ``matches`` (the joined ``vms``/``jobs`` attributes are
+        immutable while a match exists), writes are what the counter
+        counts, and a no-op scheduling pass writes zero rows.
+        """
+        counts = self.container.db.counts
+        # A rollback restores rows without reverting the write counter,
+        # so a mark recorded inside a later-aborted transaction could
+        # otherwise assert "empty" against resurrected matches; any
+        # rollback therefore invalidates every clean mark.
+        epoch = (counts.table_writes("matches"), counts.rollbacks)
+        if self._no_pending_marks.get(machine_name) == epoch:
+            self.matchinfo_selects_skipped += 1
+            return []
+        matches = self.scheduling.pending_matches_for_machine(machine_name)
+        if matches:
+            self._no_pending_marks.pop(machine_name, None)
+        else:
+            self._no_pending_marks[machine_name] = epoch
+        return matches
 
     def _has_idle_vm(self, machine_name: str) -> bool:
         return bool(

@@ -26,6 +26,9 @@ the job into history).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
 #: Ordered DDL statements; executed once at database creation.
 SCHEMA_STATEMENTS = [
     """
@@ -230,6 +233,363 @@ SCHEMA_STATEMENTS = [
     """,
     "CREATE INDEX idx_provenance_output ON provenance(output_name)",
 ]
+
+# ----------------------------------------------------------------------
+# Engine-neutral schema description
+# ----------------------------------------------------------------------
+# ``SCHEMA_STATEMENTS`` above is SQLite DDL; storage engines that do not
+# parse DDL (the dict-backed ``MemoryStorageEngine``) consume the
+# structured description below instead.  The two are a single logical
+# schema: a conformance test introspects the SQLite catalog (PRAGMA
+# table_info / foreign_key_list / index_list) and asserts the
+# descriptions agree, so they cannot drift silently.
+
+
+_NO_DEFAULT = object()
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    """One column: name, type affinity and constraints."""
+
+    name: str
+    #: SQLite type affinity the engine must emulate on write:
+    #: 'INTEGER', 'REAL' or 'TEXT'.
+    affinity: str
+    not_null: bool = False
+    default: Any = _NO_DEFAULT
+    #: CHECK (col IN (...)) constraint, when present.
+    check_in: Optional[Tuple[str, ...]] = None
+
+    @property
+    def has_default(self) -> bool:
+        return self.default is not _NO_DEFAULT
+
+
+@dataclass(frozen=True)
+class ForeignKeyDef:
+    """A single-column foreign key and its delete action."""
+
+    column: str
+    ref_table: str
+    ref_column: str
+    on_delete: str = "restrict"  # 'restrict' (NO ACTION) or 'cascade'
+
+
+@dataclass(frozen=True)
+class IndexDef:
+    """A secondary index (engines use at least the leading column)."""
+
+    name: str
+    columns: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class TableDef:
+    """One table of the operational/historical schema, engine-neutral."""
+
+    name: str
+    columns: Tuple[ColumnDef, ...]
+    primary_key: Tuple[str, ...]
+    #: True for ordinary rowid tables (scan order = rowid order); False
+    #: for WITHOUT ROWID tables (scan order = primary-key order).
+    rowid: bool = True
+    #: AUTOINCREMENT: key values are never reused after deletion.
+    autoincrement: bool = False
+    #: UNIQUE constraints beyond the primary key.
+    unique: Tuple[Tuple[str, ...], ...] = ()
+    foreign_keys: Tuple[ForeignKeyDef, ...] = ()
+    indexes: Tuple[IndexDef, ...] = ()
+
+    def column(self, name: str) -> ColumnDef:
+        for col in self.columns:
+            if col.name == name:
+                return col
+        raise KeyError(name)
+
+    @property
+    def integer_primary_key(self) -> Optional[str]:
+        """The rowid-aliasing INTEGER PRIMARY KEY column, when present."""
+        if (
+            self.rowid
+            and len(self.primary_key) == 1
+            and self.column(self.primary_key[0]).affinity == "INTEGER"
+        ):
+            return self.primary_key[0]
+        return None
+
+
+def _col(name, affinity, not_null=False, default=_NO_DEFAULT, check_in=None):
+    return ColumnDef(name, affinity, not_null, default, check_in)
+
+
+#: The whole schema as data — what ``SCHEMA_STATEMENTS`` says, in a form
+#: any backend can consume.
+TABLE_DEFS: Tuple[TableDef, ...] = (
+    TableDef(
+        name="users",
+        columns=(
+            _col("user_name", "TEXT"),
+            _col("priority", "REAL", not_null=True, default=0.5),
+            _col("accumulated_usage_seconds", "REAL", not_null=True, default=0.0),
+            _col("created_at", "REAL", not_null=True),
+        ),
+        primary_key=("user_name",),
+    ),
+    TableDef(
+        name="workflows",
+        columns=(
+            _col("workflow_id", "INTEGER"),
+            _col("owner", "TEXT", not_null=True),
+            _col("name", "TEXT", not_null=True, default="workflow"),
+            _col("submitted_at", "REAL", not_null=True),
+        ),
+        primary_key=("workflow_id",),
+        foreign_keys=(ForeignKeyDef("owner", "users", "user_name"),),
+    ),
+    TableDef(
+        name="jobs",
+        columns=(
+            _col("job_id", "INTEGER"),
+            _col("owner", "TEXT", not_null=True),
+            _col("workflow_id", "INTEGER"),
+            _col("cmd", "TEXT", not_null=True),
+            _col("args", "TEXT", not_null=True, default=""),
+            _col("state", "TEXT", not_null=True, default="idle",
+                 check_in=("idle", "matched", "running", "completed",
+                           "removed", "held")),
+            _col("run_seconds", "REAL", not_null=True),
+            _col("image_size_mb", "INTEGER", not_null=True, default=16),
+            _col("requirements", "TEXT"),
+            _col("rank", "TEXT"),
+            _col("submitted_at", "REAL", not_null=True),
+            _col("attempts", "INTEGER", not_null=True, default=0),
+        ),
+        primary_key=("job_id",),
+        foreign_keys=(
+            ForeignKeyDef("owner", "users", "user_name"),
+            ForeignKeyDef("workflow_id", "workflows", "workflow_id"),
+        ),
+        indexes=(
+            IndexDef("idx_jobs_state_owner", ("state", "owner", "job_id")),
+            IndexDef("idx_jobs_owner", ("owner",)),
+            IndexDef("idx_jobs_workflow", ("workflow_id",)),
+        ),
+    ),
+    TableDef(
+        name="job_dependencies",
+        columns=(
+            _col("job_id", "INTEGER", not_null=True),
+            _col("depends_on_job_id", "INTEGER", not_null=True),
+        ),
+        primary_key=("job_id", "depends_on_job_id"),
+        rowid=False,
+        foreign_keys=(
+            ForeignKeyDef("job_id", "jobs", "job_id", on_delete="cascade"),
+        ),
+        indexes=(
+            IndexDef("idx_job_dependencies_parent",
+                     ("depends_on_job_id", "job_id")),
+        ),
+    ),
+    TableDef(
+        name="machines",
+        columns=(
+            _col("machine_name", "TEXT"),
+            _col("arch", "TEXT", not_null=True, default="INTEL"),
+            _col("opsys", "TEXT", not_null=True, default="LINUX"),
+            _col("cores", "INTEGER", not_null=True, default=1),
+            _col("memory_mb", "REAL", not_null=True, default=512),
+            _col("vm_count", "INTEGER", not_null=True, default=1),
+            _col("state", "TEXT", not_null=True, default="alive",
+                 check_in=("alive", "missing", "offline")),
+            _col("last_heartbeat", "REAL", not_null=True, default=0),
+            _col("boot_count", "INTEGER", not_null=True, default=0),
+        ),
+        primary_key=("machine_name",),
+    ),
+    TableDef(
+        name="vms",
+        columns=(
+            _col("vm_id", "TEXT"),
+            _col("machine_name", "TEXT", not_null=True),
+            _col("state", "TEXT", not_null=True, default="idle",
+                 check_in=("idle", "claiming", "busy", "offline")),
+            _col("last_update", "REAL", not_null=True, default=0),
+        ),
+        primary_key=("vm_id",),
+        foreign_keys=(ForeignKeyDef("machine_name", "machines", "machine_name"),),
+        indexes=(
+            IndexDef("idx_vms_machine", ("machine_name",)),
+            IndexDef("idx_vms_state", ("state", "machine_name", "vm_id")),
+        ),
+    ),
+    TableDef(
+        name="matches",
+        columns=(
+            _col("match_id", "INTEGER"),
+            _col("job_id", "INTEGER", not_null=True),
+            _col("vm_id", "TEXT", not_null=True),
+            _col("created_at", "REAL", not_null=True),
+        ),
+        primary_key=("match_id",),
+        autoincrement=True,
+        unique=(("job_id",), ("vm_id",)),
+        foreign_keys=(
+            ForeignKeyDef("job_id", "jobs", "job_id"),
+            ForeignKeyDef("vm_id", "vms", "vm_id"),
+        ),
+        indexes=(IndexDef("idx_matches_vm_job", ("vm_id", "job_id")),),
+    ),
+    TableDef(
+        name="runs",
+        columns=(
+            _col("run_id", "INTEGER"),
+            _col("job_id", "INTEGER", not_null=True),
+            _col("vm_id", "TEXT", not_null=True),
+            _col("started_at", "REAL", not_null=True),
+        ),
+        primary_key=("run_id",),
+        autoincrement=True,
+        unique=(("job_id",), ("vm_id",)),
+        foreign_keys=(
+            ForeignKeyDef("job_id", "jobs", "job_id"),
+            ForeignKeyDef("vm_id", "vms", "vm_id"),
+        ),
+        indexes=(IndexDef("idx_runs_vm_job", ("vm_id", "job_id")),),
+    ),
+    TableDef(
+        name="job_history",
+        columns=(
+            _col("job_id", "INTEGER"),
+            _col("owner", "TEXT", not_null=True),
+            _col("workflow_id", "INTEGER"),
+            _col("cmd", "TEXT", not_null=True),
+            _col("run_seconds", "REAL", not_null=True),
+            _col("submitted_at", "REAL", not_null=True),
+            _col("started_at", "REAL"),
+            _col("completed_at", "REAL"),
+            _col("final_state", "TEXT", not_null=True),
+            _col("vm_id", "TEXT"),
+            _col("attempts", "INTEGER", not_null=True, default=0),
+        ),
+        primary_key=("job_id",),
+        indexes=(
+            IndexDef("idx_job_history_owner", ("owner",)),
+            IndexDef("idx_job_history_completed", ("completed_at",)),
+        ),
+    ),
+    TableDef(
+        name="machine_boot_history",
+        columns=(
+            _col("boot_id", "INTEGER"),
+            _col("machine_name", "TEXT", not_null=True),
+            _col("booted_at", "REAL", not_null=True),
+            _col("arch", "TEXT", not_null=True),
+            _col("opsys", "TEXT", not_null=True),
+            _col("cores", "INTEGER", not_null=True),
+            _col("memory_mb", "REAL", not_null=True),
+        ),
+        primary_key=("boot_id",),
+        autoincrement=True,
+        indexes=(IndexDef("idx_boot_history_machine", ("machine_name",)),),
+    ),
+    TableDef(
+        name="machine_history",
+        columns=(
+            _col("sample_id", "INTEGER"),
+            _col("machine_name", "TEXT", not_null=True),
+            _col("sampled_at", "REAL", not_null=True),
+            _col("state", "TEXT", not_null=True),
+            _col("busy_vms", "INTEGER", not_null=True, default=0),
+        ),
+        primary_key=("sample_id",),
+        autoincrement=True,
+    ),
+    TableDef(
+        name="config_policies",
+        columns=(
+            _col("policy_name", "TEXT"),
+            _col("policy_value", "TEXT", not_null=True),
+            _col("scope", "TEXT", not_null=True, default="pool"),
+            _col("updated_at", "REAL", not_null=True),
+            _col("updated_by", "TEXT", not_null=True, default="admin"),
+        ),
+        primary_key=("policy_name",),
+    ),
+    TableDef(
+        name="config_history",
+        columns=(
+            _col("change_id", "INTEGER"),
+            _col("policy_name", "TEXT", not_null=True),
+            _col("old_value", "TEXT"),
+            _col("new_value", "TEXT", not_null=True),
+            _col("changed_at", "REAL", not_null=True),
+            _col("changed_by", "TEXT", not_null=True),
+        ),
+        primary_key=("change_id",),
+        autoincrement=True,
+    ),
+    TableDef(
+        name="accounting",
+        columns=(
+            _col("record_id", "INTEGER"),
+            _col("owner", "TEXT", not_null=True),
+            _col("job_id", "INTEGER", not_null=True),
+            _col("vm_id", "TEXT"),
+            _col("wall_seconds", "REAL", not_null=True),
+            _col("recorded_at", "REAL", not_null=True),
+        ),
+        primary_key=("record_id",),
+        autoincrement=True,
+        indexes=(IndexDef("idx_accounting_owner", ("owner",)),),
+    ),
+    TableDef(
+        name="datasets",
+        columns=(
+            _col("dataset_id", "INTEGER"),
+            _col("name", "TEXT", not_null=True),
+            _col("owner", "TEXT", not_null=True),
+            _col("size_mb", "REAL", not_null=True, default=0),
+            _col("k_safety", "INTEGER", not_null=True, default=1),
+            _col("created_at", "REAL", not_null=True),
+        ),
+        primary_key=("dataset_id",),
+        autoincrement=True,
+        unique=(("name",),),
+    ),
+    TableDef(
+        name="dataset_replicas",
+        columns=(
+            _col("replica_id", "INTEGER"),
+            _col("dataset_id", "INTEGER", not_null=True),
+            _col("machine_name", "TEXT", not_null=True),
+            _col("state", "TEXT", not_null=True, default="valid",
+                 check_in=("valid", "stale", "transferring")),
+            _col("created_at", "REAL", not_null=True),
+        ),
+        primary_key=("replica_id",),
+        autoincrement=True,
+        unique=(("dataset_id", "machine_name"),),
+        foreign_keys=(ForeignKeyDef("dataset_id", "datasets", "dataset_id"),),
+    ),
+    TableDef(
+        name="provenance",
+        columns=(
+            _col("prov_id", "INTEGER"),
+            _col("output_name", "TEXT", not_null=True),
+            _col("job_id", "INTEGER", not_null=True),
+            _col("executable", "TEXT", not_null=True),
+            _col("executable_version", "TEXT", not_null=True, default=""),
+            _col("input_names", "TEXT", not_null=True, default=""),
+            _col("input_versions", "TEXT", not_null=True, default=""),
+            _col("recorded_at", "REAL", not_null=True),
+        ),
+        primary_key=("prov_id",),
+        autoincrement=True,
+        indexes=(IndexDef("idx_provenance_output", ("output_name",)),),
+    ),
+)
 
 #: Tables in the operational schema, in creation order.
 TABLES = [

@@ -2,31 +2,124 @@
 
 Public surface:
 
-* :class:`StorageEngine` / :class:`SqliteStorageEngine` — the backend
-  contract and the bundled SQLite implementation;
+* :class:`StorageEngine` — the backend contract (shared accounting);
+* :class:`SqliteStorageEngine` / :class:`MemoryStorageEngine` — the two
+  bundled implementations, held equivalent by the differential fuzzer;
+* :func:`create_engine` / :func:`register_engine` — the backend registry
+  the access layer resolves names and URLs through;
 * :class:`StatementCounts` — centralized per-verb statement accounting;
 * :class:`PreparedStatementCache` — the LRU statement cache engines put
   in front of SQL compilation;
 * :class:`DatabaseError` — the layer's single error type.
+
+Engine selection accepts either a bare backend name (``"sqlite"``,
+``"memory"``) or a URL (``"sqlite:///var/pool.db"``, ``"memory://"``);
+the ``CONDORJ2_STORAGE_ENGINE`` environment variable supplies the
+default backend when the caller does not choose one, which is how CI
+runs the whole tier-1 suite against each backend.
 """
 
-from repro.condorj2.storage.counters import StatementCounts, statement_verb
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.condorj2.storage.counters import (
+    StatementCounts,
+    statement_table,
+    statement_verb,
+)
 from repro.condorj2.storage.engine import (
     DatabaseError,
     SqliteStorageEngine,
     StorageEngine,
 )
+from repro.condorj2.storage.memory import MemoryStorageEngine
 from repro.condorj2.storage.statements import (
     PreparedStatement,
     PreparedStatementCache,
 )
 
+#: Environment variable naming the default backend ("sqlite" | "memory").
+ENGINE_ENV_VAR = "CONDORJ2_STORAGE_ENGINE"
+
+_ENGINE_REGISTRY: Dict[str, Callable[..., StorageEngine]] = {
+    "sqlite": SqliteStorageEngine,
+    "memory": MemoryStorageEngine,
+}
+
+
+def register_engine(name: str, factory: Callable[..., StorageEngine]) -> None:
+    """Register a third backend under ``name`` (overwrites existing)."""
+    _ENGINE_REGISTRY[name] = factory
+
+
+def available_engines() -> Tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(_ENGINE_REGISTRY))
+
+
+def default_backend() -> str:
+    """The configured default backend (``CONDORJ2_STORAGE_ENGINE``)."""
+    return os.environ.get(ENGINE_ENV_VAR, "").strip() or "sqlite"
+
+
+def parse_storage_url(url: str) -> Tuple[str, str]:
+    """Split ``url`` into (backend, path).
+
+    Accepted forms: a bare backend name (``"memory"``), a backend URL
+    (``"memory://"``, ``"sqlite:///var/pool.db"``, ``"sqlite::memory:"``)
+    or a plain SQLite path (``":memory:"``, ``"/var/pool.db"``).
+    """
+    if "://" in url:
+        backend, _, rest = url.partition("://")
+        return backend or default_backend(), (rest or ":memory:")
+    backend, sep, rest = url.partition(":")
+    if sep and backend in _ENGINE_REGISTRY:
+        return backend, (rest or ":memory:")
+    if url in _ENGINE_REGISTRY:
+        return url, ":memory:"
+    return "sqlite", (url or ":memory:")
+
+
+def create_engine(
+    spec: Optional[str] = None,
+    path: str = ":memory:",
+    statement_cache_size: int = 128,
+) -> StorageEngine:
+    """Build a storage engine from a backend name or URL.
+
+    ``spec`` is a name/URL as accepted by :func:`parse_storage_url`.
+    When ``spec`` is omitted (environment default applies) or is a bare
+    backend name, the caller's ``path`` is used verbatim; a URL spec
+    carries its own path.
+    """
+    if spec is None:
+        backend = default_backend()
+    elif spec in _ENGINE_REGISTRY:
+        backend = spec
+    else:
+        backend, path = parse_storage_url(spec)
+    factory = _ENGINE_REGISTRY.get(backend)
+    if factory is None:
+        raise DatabaseError(f"unknown storage backend {backend!r}")
+    return factory(path, statement_cache_size=statement_cache_size)
+
+
 __all__ = [
     "DatabaseError",
+    "ENGINE_ENV_VAR",
+    "MemoryStorageEngine",
     "PreparedStatement",
     "PreparedStatementCache",
     "SqliteStorageEngine",
     "StatementCounts",
     "StorageEngine",
+    "available_engines",
+    "create_engine",
+    "default_backend",
+    "parse_storage_url",
+    "register_engine",
+    "statement_table",
     "statement_verb",
 ]

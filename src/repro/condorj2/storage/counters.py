@@ -7,11 +7,31 @@ that **batched execution still counts per row**: an ``executemany`` over
 statements would — what batching saves is per-statement dispatch (one
 ``batches`` tick instead of 500) and statement preparation (the LRU
 prepared-statement cache turns repeated SQL text into ``prepared_hits``).
+
+Accounting is engine-neutral: every :class:`~repro.condorj2.storage.engine.
+StorageEngine` implementation records through the same code paths, so a
+workload replayed against two backends must produce *equal*
+:class:`StatementCounts` — the property the differential fuzz harness
+asserts.
+
+Two derived classifications live here because every engine needs them:
+
+* :func:`statement_verb` — the statement's accounting verb (the leading
+  keyword, with ``WITH``-prefixed CTEs resolved to their main verb);
+* :func:`statement_table` — the statement's *principal table* (the DML
+  target, or the first ``FROM`` table of a query), which keys the
+  per-table statistics the pool web site renders.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import re
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict
+
+#: Verbs whose per-table statistics count *written rows*.
+WRITE_VERBS = ("INSERT", "UPDATE", "DELETE")
 
 
 @dataclass
@@ -25,6 +45,14 @@ class StatementCounts:
     that must stay O(1) per scheduling pass), ``batches`` counts batched
     dispatches, ``prepared_misses`` counts statement-cache compilations
     and ``prepared_hits`` counts reuses of an already-prepared statement.
+
+    ``tables`` breaks the same traffic down by principal table: per table
+    and verb it records *actual* row traffic (rows really written by DML
+    — a no-op UPDATE adds zero — and one probe per read dispatch).  The
+    global verb counters keep their one-unit floor per dispatch because
+    that is what the cost model prices; the per-table view is the honest
+    row ledger the admin console shows, and its write counters double as
+    cheap change detectors (see ``HeartbeatService``).
     """
 
     select: int = 0
@@ -33,10 +61,14 @@ class StatementCounts:
     delete: int = 0
     other: int = 0
     commits: int = 0
+    rollbacks: int = 0
     statements: int = 0
     batches: int = 0
     prepared_hits: int = 0
     prepared_misses: int = 0
+    #: Per-table row traffic: ``{table: {verb: rows}}`` with lower-cased
+    #: verb keys mirroring the scalar counters.
+    tables: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     def total(self) -> int:
         """All verb work — row touches, not dispatches (commits excluded).
@@ -45,6 +77,19 @@ class StatementCounts:
         :attr:`statements`; ``total()`` is what the cost model prices.
         """
         return self.select + self.insert + self.update + self.delete + self.other
+
+    def table_writes(self, table: str) -> int:
+        """Rows actually written (insert+update+delete) to ``table``.
+
+        Monotonic, so services can use it as a cheap dirty marker: if the
+        value has not moved, nothing in ``table`` changed.
+        """
+        verbs = self.tables.get(table)
+        if not verbs:
+            return 0
+        return (
+            verbs.get("insert", 0) + verbs.get("update", 0) + verbs.get("delete", 0)
+        )
 
     def snapshot(self) -> "StatementCounts":
         """An independent copy for before/after deltas."""
@@ -55,14 +100,26 @@ class StatementCounts:
             delete=self.delete,
             other=self.other,
             commits=self.commits,
+            rollbacks=self.rollbacks,
             statements=self.statements,
             batches=self.batches,
             prepared_hits=self.prepared_hits,
             prepared_misses=self.prepared_misses,
+            tables={table: dict(verbs) for table, verbs in self.tables.items()},
         )
 
     def delta(self, earlier: "StatementCounts") -> "StatementCounts":
         """Counts accumulated since ``earlier``."""
+        tables: Dict[str, Dict[str, int]] = {}
+        for table, verbs in self.tables.items():
+            old = earlier.tables.get(table, {})
+            diff = {
+                verb: count - old.get(verb, 0)
+                for verb, count in verbs.items()
+                if count - old.get(verb, 0)
+            }
+            if diff:
+                tables[table] = diff
         return StatementCounts(
             select=self.select - earlier.select,
             insert=self.insert - earlier.insert,
@@ -70,10 +127,39 @@ class StatementCounts:
             delete=self.delete - earlier.delete,
             other=self.other - earlier.other,
             commits=self.commits - earlier.commits,
+            rollbacks=self.rollbacks - earlier.rollbacks,
             statements=self.statements - earlier.statements,
             batches=self.batches - earlier.batches,
             prepared_hits=self.prepared_hits - earlier.prepared_hits,
             prepared_misses=self.prepared_misses - earlier.prepared_misses,
+            tables=tables,
+        )
+
+    def merge(self, other: "StatementCounts") -> "StatementCounts":
+        """Combine two count sets (e.g. across shards or engines).
+
+        Associative and commutative with ``StatementCounts()`` as the
+        identity — the algebra the rollup reports rely on, pinned by
+        property tests.
+        """
+        tables = {table: dict(verbs) for table, verbs in self.tables.items()}
+        for table, verbs in other.tables.items():
+            mine = tables.setdefault(table, {})
+            for verb, count in verbs.items():
+                mine[verb] = mine.get(verb, 0) + count
+        return StatementCounts(
+            select=self.select + other.select,
+            insert=self.insert + other.insert,
+            update=self.update + other.update,
+            delete=self.delete + other.delete,
+            other=self.other + other.other,
+            commits=self.commits + other.commits,
+            rollbacks=self.rollbacks + other.rollbacks,
+            statements=self.statements + other.statements,
+            batches=self.batches + other.batches,
+            prepared_hits=self.prepared_hits + other.prepared_hits,
+            prepared_misses=self.prepared_misses + other.prepared_misses,
+            tables=tables,
         )
 
     # ------------------------------------------------------------------
@@ -92,10 +178,112 @@ class StatementCounts:
         else:
             self.other += rows
 
+    def record_table(self, table: str, verb: str, rows: int) -> None:
+        """Attribute ``rows`` of actual traffic for ``verb`` to ``table``."""
+        if not table:
+            return
+        verbs = self.tables.setdefault(table, {})
+        key = verb.lower() if verb in ("SELECT",) + WRITE_VERBS else "other"
+        verbs[key] = verbs.get(key, 0) + rows
 
+
+_WORD = re.compile(r"'(?:[^']|'')*'|[A-Za-z_][A-Za-z0-9_]*|\(|\)")
+
+
+def _words(sql: str):
+    """Identifiers/keywords and parens of ``sql``, in order.
+
+    String literals are recognized and dropped, so quoted text that
+    happens to contain keywords cannot confuse classification.
+    """
+    return [token for token in _WORD.findall(sql)
+            if not token.startswith("'")]
+
+
+@lru_cache(maxsize=1024)
 def statement_verb(sql: str) -> str:
-    """The leading SQL verb of ``sql``, upper-cased ('' when blank)."""
+    """The accounting verb of ``sql``, upper-cased ('' when blank).
+
+    The leading keyword, except that a ``WITH`` common-table-expression
+    prefix is skipped (by balanced-paren scanning) so a CTE-wrapped
+    INSERT/SELECT classifies as its main verb rather than as ``WITH``.
+
+    Classification is a pure function of the SQL text and sits on the
+    per-dispatch hot path, so it is memoized — a set-oriented workload
+    converges on a tiny working set of statement strings.
+    """
     stripped = sql.lstrip()
     if not stripped:
         return ""
-    return stripped.split(None, 1)[0].upper()
+    first = stripped.split(None, 1)[0].upper()
+    if first != "WITH":
+        return first
+    # Skip "WITH [RECURSIVE] name AS ( ... ) [, name AS ( ... )]*".
+    tokens = _words(stripped)
+    index, depth, seen_body = 1, 0, False
+    while index < len(tokens):
+        token = tokens[index]
+        if token == "(":
+            depth += 1
+        elif token == ")":
+            depth -= 1
+            if depth == 0:
+                seen_body = True
+        elif depth == 0 and seen_body and token.upper() in (
+            "SELECT", "INSERT", "UPDATE", "DELETE"
+        ):
+            return token.upper()
+        index += 1
+    return "WITH"
+
+
+@lru_cache(maxsize=1024)
+def statement_table(sql: str) -> str:
+    """The principal table of ``sql`` ('' when there is none).
+
+    DML statements report their target table (``INSERT INTO t`` /
+    ``UPDATE t`` / ``DELETE FROM t``); queries report the first table of
+    their outermost ``FROM`` clause, descending into a leading subquery.
+    Classification is lexical and engine-neutral, so both storage
+    backends attribute identical per-table statistics for identical SQL.
+    """
+    verb = statement_verb(sql)
+    tokens = _words(sql)
+    uppers = [token.upper() for token in tokens]
+    if verb == "INSERT":
+        for index, token in enumerate(uppers):
+            if token == "INTO" and index + 1 < len(tokens):
+                return tokens[index + 1]
+        return ""
+    if verb == "UPDATE":
+        for index, token in enumerate(uppers):
+            if token == "UPDATE" and index + 1 < len(tokens):
+                candidate = tokens[index + 1]
+                if candidate.upper() in ("OR",):  # UPDATE OR IGNORE t
+                    return tokens[index + 3] if index + 3 < len(tokens) else ""
+                return candidate
+        return ""
+    if verb in ("DELETE", "SELECT", "WITH"):
+        # The *outermost* FROM clause: scan at paren depth 0 so scalar
+        # subqueries in the select list cannot claim the attribution;
+        # when the outer source is itself a subquery, descend one level
+        # and repeat.
+        depth = 0
+        want = 0
+        index = 0
+        while index < len(uppers):
+            token = tokens[index]
+            if token == "(":
+                depth += 1
+            elif token == ")":
+                depth -= 1
+            elif uppers[index] == "FROM" and depth == want \
+                    and index + 1 < len(tokens):
+                nxt = tokens[index + 1]
+                if nxt == "(":
+                    want = depth + 1  # FROM (SELECT ... — use its FROM
+                else:
+                    return nxt
+            index += 1
+        return ""
+    return ""

@@ -4,9 +4,18 @@
 the bean container and the application-logic services) programs against:
 statement execution with centralized accounting, batched execution, and
 explicit transaction control.  :class:`SqliteStorageEngine` is the bundled
-implementation — an in-process SQLite database executing the *real* SQL
-for every operation, with an LRU prepared-statement cache in front of it
-(DESIGN.md section 3).
+SQL-executing implementation — an in-process SQLite database executing the
+*real* SQL for every operation, with an LRU prepared-statement cache in
+front of it (DESIGN.md section 3).  A second, pure-Python implementation
+(:class:`~repro.condorj2.storage.memory.MemoryStorageEngine`) interprets
+the same dialect over dict-backed tables; the two are held equivalent by
+a differential fuzz harness.
+
+The accounting skeleton lives *in the base class*: every engine admits
+the statement to the shared prepared-statement cache, classifies its verb
+and principal table, and charges row work identically.  Subclasses only
+implement the raw execution hooks, so "equal :class:`StatementCounts` for
+equal workloads" is a property of the layer, not a per-engine discipline.
 
 The paper used IBM DB2 UDB 8.2; swapping the DBMS means implementing this
 one small interface, which is the point of the abstraction.
@@ -16,9 +25,13 @@ from __future__ import annotations
 
 import sqlite3
 from abc import ABC, abstractmethod
-from typing import Any, Iterable, List, Sequence
+from typing import Any, Iterable, List, Sequence, Tuple, Type
 
-from repro.condorj2.storage.counters import StatementCounts, statement_verb
+from repro.condorj2.storage.counters import (
+    StatementCounts,
+    statement_table,
+    statement_verb,
+)
 from repro.condorj2.storage.statements import PreparedStatementCache
 
 
@@ -29,20 +42,57 @@ class DatabaseError(Exception):
 class StorageEngine(ABC):
     """What a backing store must provide to host the operational data.
 
-    Implementations own the connection, the statement accounting
-    (:attr:`counts`) and the prepared-statement cache; everything above
-    this interface is backend-agnostic.
+    Implementations own the connection and the raw execution hooks; the
+    statement accounting (:attr:`counts`), the prepared-statement cache
+    and the verb/table classification are shared base-class behaviour so
+    that every backend charges an identical workload identically.
     """
+
+    #: Registry/config name of the backend ("sqlite", "memory", ...).
+    name: str = ""
+
+    #: Exception types the raw hooks raise for constraint violations;
+    #: the base class wraps them in :class:`DatabaseError`.
+    INTEGRITY_ERRORS: Tuple[Type[BaseException], ...] = ()
 
     counts: StatementCounts
     statement_cache: PreparedStatementCache
 
+    def _init_accounting(self, statement_cache_size: int) -> None:
+        self.counts = StatementCounts()
+        self.statement_cache = PreparedStatementCache(statement_cache_size)
+
     # -- statement execution -------------------------------------------
-    @abstractmethod
+    def _admit(self, sql: str) -> None:
+        hit = self.statement_cache.prepare(sql)
+        if hit:
+            self.counts.prepared_hits += 1
+        else:
+            self.counts.prepared_misses += 1
+
     def execute(self, sql: str, params: Sequence[Any] = ()) -> Any:
         """Run one counted statement; returns a cursor-like object."""
+        self._admit(sql)
+        verb = statement_verb(sql)
+        self.counts.statements += 1
+        try:
+            cursor = self._execute_raw(sql, params)
+        except self.INTEGRITY_ERRORS as exc:
+            self.counts.record(verb)
+            raise DatabaseError(str(exc)) from exc
+        # Set-oriented DML charges per affected row, so one
+        # INSERT..SELECT costs the CPU model exactly what the
+        # row-at-a-time loop it replaced did.  SELECT stays one unit:
+        # indexed plans are priced per probe, not per fetched row.
+        rows = 1
+        affected = 1
+        if verb in ("INSERT", "UPDATE", "DELETE"):
+            rows = max(1, cursor.rowcount)
+            affected = max(0, cursor.rowcount)
+        self.counts.record(verb, rows)
+        self.counts.record_table(statement_table(sql), verb, affected)
+        return cursor
 
-    @abstractmethod
     def executemany(self, sql: str, rows: Iterable[Sequence[Any]]) -> Any:
         """Run one statement over many parameter rows (one batch).
 
@@ -50,6 +100,30 @@ class StorageEngine(ABC):
         model's CPU charge is identical to row-at-a-time execution — plus
         a single batch dispatch.
         """
+        materialized: List[Sequence[Any]] = list(rows)
+        self._admit(sql)
+        verb = statement_verb(sql)
+        self.counts.record(verb, len(materialized))
+        self.counts.statements += 1
+        self.counts.batches += 1
+        try:
+            cursor = self._executemany_raw(sql, materialized)
+        except self.INTEGRITY_ERRORS as exc:
+            raise DatabaseError(str(exc)) from exc
+        if verb in ("INSERT", "UPDATE", "DELETE"):
+            affected = max(0, cursor.rowcount)
+        else:
+            affected = len(materialized)
+        self.counts.record_table(statement_table(sql), verb, affected)
+        return cursor
+
+    @abstractmethod
+    def _execute_raw(self, sql: str, params: Sequence[Any]) -> Any:
+        """Execute one statement; returns a cursor-like object."""
+
+    @abstractmethod
+    def _executemany_raw(self, sql: str, rows: Sequence[Sequence[Any]]) -> Any:
+        """Execute one statement over many parameter rows."""
 
     @abstractmethod
     def run_script(self, statements: Sequence[str]) -> None:
@@ -60,12 +134,25 @@ class StorageEngine(ABC):
     def begin(self) -> None:
         """Open an explicit transaction."""
 
-    @abstractmethod
     def commit(self) -> None:
         """Commit the open transaction (counted in ``counts.commits``)."""
+        self._commit_raw()
+        self.counts.commits += 1
 
     @abstractmethod
+    def _commit_raw(self) -> None:
+        """Commit the open transaction."""
+
     def rollback(self) -> None:
+        """Abandon the open transaction (counted in ``counts.rollbacks``
+        — rollbacks restore rows without reverting the statement
+        counters, so change detectors built on the per-table write
+        counts must also watch this counter)."""
+        self._rollback_raw()
+        self.counts.rollbacks += 1
+
+    @abstractmethod
+    def _rollback_raw(self) -> None:
         """Abandon the open transaction."""
 
     @abstractmethod
@@ -80,53 +167,26 @@ class SqliteStorageEngine(StorageEngine):
     10,000-VM experiment fits comfortably); pass a path for durability.
     """
 
+    name = "sqlite"
+    INTEGRITY_ERRORS = (sqlite3.IntegrityError,)
+
     def __init__(self, path: str = ":memory:", statement_cache_size: int = 128):
         self._conn = sqlite3.connect(path)
         self._conn.row_factory = sqlite3.Row
         self._conn.isolation_level = None  # explicit transaction control
         self._conn.execute("PRAGMA foreign_keys = ON")
-        self.counts = StatementCounts()
-        self.statement_cache = PreparedStatementCache(statement_cache_size)
+        self._init_accounting(statement_cache_size)
 
     # ------------------------------------------------------------------
-    # statement execution
+    # raw execution hooks
     # ------------------------------------------------------------------
-    def _admit(self, sql: str) -> None:
-        hit = self.statement_cache.prepare(sql)
-        if hit:
-            self.counts.prepared_hits += 1
-        else:
-            self.counts.prepared_misses += 1
+    def _execute_raw(self, sql: str, params: Sequence[Any]) -> sqlite3.Cursor:
+        return self._conn.execute(sql, params)
 
-    def execute(self, sql: str, params: Sequence[Any] = ()) -> sqlite3.Cursor:
-        self._admit(sql)
-        verb = statement_verb(sql)
-        self.counts.statements += 1
-        try:
-            cursor = self._conn.execute(sql, params)
-        except sqlite3.IntegrityError as exc:
-            self.counts.record(verb)
-            raise DatabaseError(str(exc)) from exc
-        # Set-oriented DML charges per affected row, so one
-        # INSERT..SELECT costs the CPU model exactly what the
-        # row-at-a-time loop it replaced did.  SELECT stays one unit:
-        # indexed plans are priced per probe, not per fetched row.
-        rows = 1
-        if verb in ("INSERT", "UPDATE", "DELETE"):
-            rows = max(1, cursor.rowcount)
-        self.counts.record(verb, rows)
-        return cursor
-
-    def executemany(self, sql: str, rows: Iterable[Sequence[Any]]) -> sqlite3.Cursor:
-        materialized: List[Sequence[Any]] = list(rows)
-        self._admit(sql)
-        self.counts.record(statement_verb(sql), len(materialized))
-        self.counts.statements += 1
-        self.counts.batches += 1
-        try:
-            return self._conn.executemany(sql, materialized)
-        except sqlite3.IntegrityError as exc:
-            raise DatabaseError(str(exc)) from exc
+    def _executemany_raw(
+        self, sql: str, rows: Sequence[Sequence[Any]]
+    ) -> sqlite3.Cursor:
+        return self._conn.executemany(sql, rows)
 
     def run_script(self, statements: Sequence[str]) -> None:
         for statement in statements:
@@ -138,11 +198,10 @@ class SqliteStorageEngine(StorageEngine):
     def begin(self) -> None:
         self._conn.execute("BEGIN")
 
-    def commit(self) -> None:
+    def _commit_raw(self) -> None:
         self._conn.execute("COMMIT")
-        self.counts.commits += 1
 
-    def rollback(self) -> None:
+    def _rollback_raw(self) -> None:
         self._conn.execute("ROLLBACK")
 
     def close(self) -> None:

@@ -1,0 +1,2044 @@
+"""A pure-Python, dict-backed implementation of the storage contract.
+
+``MemoryStorageEngine`` holds every table as a dict of rows keyed by
+rowid (or primary key for WITHOUT ROWID tables), maintains equality
+indexes over the hot predicate columns, enforces the schema's
+constraints (NOT NULL, CHECK, UNIQUE, foreign keys with
+``ON DELETE CASCADE``), and interprets the access layer's SQL dialect
+(:mod:`repro.condorj2.storage.sqlparser`) — including the
+``INSERT INTO matches ... SELECT`` ROW_NUMBER slot join and the
+``json_each`` completion batch, so ``SchedulingService.run_pass`` stays
+two dispatches per pass on this backend too.
+
+Fidelity targets (asserted by the cross-backend differential fuzzer):
+
+* identical table contents after identical workloads, including SQLite's
+  type affinity on write (an INTEGER 512 stored into a REAL column reads
+  back as 512.0) and rowid assignment (max+1, AUTOINCREMENT never
+  reuses);
+* identical ``rowcount`` semantics (rows matched by UPDATE, rows
+  actually inserted by INSERT OR IGNORE, cascade deletes not counted);
+* identical :class:`StatementCounts`, which follows from the shared
+  accounting in :class:`~repro.condorj2.storage.engine.StorageEngine`
+  plus identical rowcounts here.
+
+Scan order mirrors SQLite's: rowid order for ordinary tables (insertion
+order when the key is hidden, primary-key order when an INTEGER PRIMARY
+KEY aliases the rowid) and primary-key order for WITHOUT ROWID tables.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.condorj2.schema import TABLE_DEFS, TableDef
+from repro.condorj2.storage import sqlparser as sp
+from repro.condorj2.storage.engine import StorageEngine
+
+
+class MemoryIntegrityError(Exception):
+    """Constraint violation (wrapped in DatabaseError by the base class)."""
+
+
+class MemoryEngineError(Exception):
+    """Statement outside the supported dialect or misuse of the engine."""
+
+
+# ----------------------------------------------------------------------
+# SQLite-compatible scalar semantics
+# ----------------------------------------------------------------------
+
+def _numeric_from_text(text: str) -> Optional[float]:
+    stripped = text.strip()
+    try:
+        return int(stripped)
+    except ValueError:
+        try:
+            return float(stripped)
+        except ValueError:
+            return None
+
+
+def apply_affinity(value: Any, affinity: str) -> Any:
+    """Convert ``value`` as SQLite's column affinity would on write."""
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        value = int(value)
+    if affinity in ("INTEGER", "NUMERIC"):
+        if isinstance(value, int):
+            return value
+        if isinstance(value, float):
+            return int(value) if value.is_integer() else value
+        if isinstance(value, str):
+            number = _numeric_from_text(value)
+            if number is None:
+                return value
+            if isinstance(number, float) and number.is_integer():
+                return int(number)
+            return number
+        return value
+    if affinity == "REAL":
+        if isinstance(value, int):
+            return float(value)
+        if isinstance(value, str):
+            number = _numeric_from_text(value)
+            return float(number) if number is not None else value
+        return value
+    if affinity == "TEXT":
+        if isinstance(value, (int, float)):
+            return str(value)
+        return value
+    return value
+
+
+def _to_number(value: Any) -> Any:
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, (int, float)):
+        return value
+    if isinstance(value, str):
+        number = _numeric_from_text(value)
+        return number if number is not None else 0
+    return 0
+
+
+def _to_text(value: Any) -> str:
+    if isinstance(value, str):
+        return value
+    return str(value)
+
+
+def _int_truncdiv(a: int, b: int) -> int:
+    """Integer division truncating toward zero (SQLite's `/`), exact for
+    operands beyond float precision."""
+    quotient = abs(a) // abs(b)
+    return -quotient if (a < 0) != (b < 0) else quotient
+
+
+def sql_sort_key(value: Any) -> Tuple[int, Any]:
+    """SQLite ordering: NULL < numbers < text."""
+    if value is None:
+        return (0, 0)
+    if isinstance(value, bool):
+        return (1, int(value))
+    if isinstance(value, (int, float)):
+        return (1, value)
+    if isinstance(value, str):
+        return (2, value)
+    return (3, repr(value))
+
+
+def _is_true(value: Any) -> bool:
+    if value is None:
+        return False
+    if isinstance(value, str):
+        number = _numeric_from_text(value)
+        return bool(number)
+    return bool(value)
+
+
+def _sql_eq(a: Any, b: Any) -> Any:
+    if a is None or b is None:
+        return None
+    an, bn = isinstance(a, (int, float)), isinstance(b, (int, float))
+    if an != bn:
+        return False  # number never equals text in SQLite
+    return a == b
+
+
+def _sql_compare(a: Any, b: Any) -> Any:
+    """-1/0/1 with SQLite's cross-type ordering; None when either NULL."""
+    if a is None or b is None:
+        return None
+    ka, kb = sql_sort_key(a), sql_sort_key(b)
+    if ka[0] != kb[0]:
+        return -1 if ka[0] < kb[0] else 1
+    if ka[1] == kb[1]:
+        return 0
+    return -1 if ka[1] < kb[1] else 1
+
+
+#: SQLite's LIKE is case-insensitive for ASCII only; fold just A-Z.
+_ASCII_FOLD = str.maketrans(
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZ", "abcdefghijklmnopqrstuvwxyz"
+)
+
+
+def _like_matches(text: Any, pattern: Any) -> Any:
+    if text is None or pattern is None:
+        return None
+    regex = ""
+    for char in _to_text(pattern).translate(_ASCII_FOLD):
+        if char == "%":
+            regex += ".*"
+        elif char == "_":
+            regex += "."
+        else:
+            regex += re.escape(char)
+    # DOTALL: SQLite's '_' (and '%') match newlines too.
+    return re.fullmatch(
+        regex, _to_text(text).translate(_ASCII_FOLD), re.DOTALL
+    ) is not None
+
+
+# ----------------------------------------------------------------------
+# rows and cursors
+# ----------------------------------------------------------------------
+
+class MemoryRow:
+    """sqlite3.Row work-alike: index- and name-addressable, dict()-able."""
+
+    __slots__ = ("_names", "_values", "_lookup")
+
+    def __init__(self, names: Tuple[str, ...], values: Tuple[Any, ...],
+                 lookup: Dict[str, int]):
+        self._names = names
+        self._values = values
+        self._lookup = lookup
+
+    def keys(self) -> List[str]:
+        return list(self._names)
+
+    def __getitem__(self, key: Any) -> Any:
+        if isinstance(key, int):
+            return self._values[key]
+        try:
+            return self._values[self._lookup[key]]
+        except KeyError:
+            raise IndexError(f"no such column: {key}") from None
+
+    def __iter__(self):
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, MemoryRow):
+            return (self._names == other._names
+                    and self._values == other._values)
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        pairs = ", ".join(
+            f"{name}={value!r}" for name, value in zip(self._names, self._values)
+        )
+        return f"<MemoryRow {pairs}>"
+
+
+class MemoryCursor:
+    """Cursor-like result carrier (rowcount, lastrowid, fetch API)."""
+
+    def __init__(self, rows: Optional[List[MemoryRow]] = None,
+                 rowcount: int = -1, lastrowid: Optional[int] = None):
+        self._rows = rows if rows is not None else []
+        self._pos = 0
+        self.rowcount = rowcount
+        self.lastrowid = lastrowid
+
+    def fetchone(self) -> Optional[MemoryRow]:
+        if self._pos >= len(self._rows):
+            return None
+        row = self._rows[self._pos]
+        self._pos += 1
+        return row
+
+    def fetchall(self) -> List[MemoryRow]:
+        rows = self._rows[self._pos:]
+        self._pos = len(self._rows)
+        return rows
+
+    def __iter__(self):
+        while True:
+            row = self.fetchone()
+            if row is None:
+                return
+            yield row
+
+
+# ----------------------------------------------------------------------
+# tables
+# ----------------------------------------------------------------------
+
+class MemoryTable:
+    """One table: rows, rowid assignment, equality indexes, constraints."""
+
+    def __init__(self, tdef: TableDef):
+        self.tdef = tdef
+        self.name = tdef.name
+        self.columns: Tuple[str, ...] = tuple(col.name for col in tdef.columns)
+        self.affinities: Dict[str, str] = {
+            col.name: col.affinity for col in tdef.columns
+        }
+        self.rows: Dict[Any, Dict[str, Any]] = {}
+        #: AUTOINCREMENT high-water mark (next key is max(this, max+1)).
+        self.autoinc_next = 1
+        self._sorted_keys: Optional[List[Any]] = None
+        # the rowid-aliasing INTEGER PRIMARY KEY, if any
+        self.ipk = tdef.integer_primary_key
+        # equality indexes: column -> value -> set of rowkeys
+        indexed = set()
+        if tdef.primary_key:
+            indexed.add(tdef.primary_key[0])
+        for index in tdef.indexes:
+            indexed.add(index.columns[0])
+        for fk in tdef.foreign_keys:
+            indexed.add(fk.column)
+        for cols in tdef.unique:
+            indexed.add(cols[0])
+        self.eq_indexes: Dict[str, Dict[Any, set]] = {
+            col: {} for col in indexed
+        }
+        # unique value maps: cols tuple -> values tuple -> rowkey
+        self.unique_maps: Dict[Tuple[str, ...], Dict[Tuple[Any, ...], Any]] = {}
+        if not self.ipk and tdef.rowid and tdef.primary_key:
+            # e.g. TEXT PRIMARY KEY over a hidden rowid
+            self.unique_maps[tuple(tdef.primary_key)] = {}
+        for cols in tdef.unique:
+            self.unique_maps[tuple(cols)] = {}
+
+    # -- scan order -----------------------------------------------------
+    def scan_keys(self) -> List[Any]:
+        if self._sorted_keys is None:
+            self._sorted_keys = sorted(self.rows)
+        return self._sorted_keys
+
+    def probe(self, column: str, value: Any) -> List[Any]:
+        """Rowkeys with ``column == value`` via the equality index.
+
+        The column's affinity is applied to the probe value first, as
+        SQLite applies comparison affinity before an index lookup."""
+        if value is None:
+            return []
+        value = apply_affinity(value, self.affinities[column])
+        bucket = self.eq_indexes[column].get(value)
+        if not bucket:
+            return []
+        return sorted(bucket)
+
+    # -- index maintenance ---------------------------------------------
+    def _index_add(self, key: Any, row: Dict[str, Any]) -> None:
+        for col, index in self.eq_indexes.items():
+            index.setdefault(row[col], set()).add(key)
+        for cols, mapping in self.unique_maps.items():
+            values = tuple(row[c] for c in cols)
+            if any(v is None for v in values):
+                continue  # SQLite UNIQUE admits multiple NULLs
+            mapping[values] = key
+
+    def _index_remove(self, key: Any, row: Dict[str, Any]) -> None:
+        for col, index in self.eq_indexes.items():
+            bucket = index.get(row[col])
+            if bucket is not None:
+                bucket.discard(key)
+                if not bucket:
+                    del index[row[col]]
+        for cols, mapping in self.unique_maps.items():
+            values = tuple(row[c] for c in cols)
+            if any(v is None for v in values):
+                continue
+            if mapping.get(values) == key:
+                del mapping[values]
+
+    # -- low-level mutation (no constraint checks) ----------------------
+    def raw_insert(self, key: Any, row: Dict[str, Any]) -> None:
+        self.rows[key] = row
+        self._sorted_keys = None
+        self._index_add(key, row)
+
+    def raw_delete(self, key: Any) -> Dict[str, Any]:
+        row = self.rows.pop(key)
+        self._sorted_keys = None
+        self._index_remove(key, row)
+        return row
+
+    def raw_update(self, key: Any, new_row: Dict[str, Any]) -> Dict[str, Any]:
+        old = self.rows[key]
+        self._index_remove(key, old)
+        self.rows[key] = new_row
+        self._index_add(key, new_row)
+        return old
+
+    # -- constraint helpers ---------------------------------------------
+    def check_row_constraints(self, row: Dict[str, Any]) -> None:
+        for col in self.tdef.columns:
+            value = row[col.name]
+            if value is None:
+                in_pk = col.name in self.tdef.primary_key
+                if col.not_null or (in_pk and not self.ipk):
+                    raise MemoryIntegrityError(
+                        f"NOT NULL constraint failed: {self.name}.{col.name}"
+                    )
+                continue
+            if col.check_in is not None and value not in col.check_in:
+                raise MemoryIntegrityError(
+                    f"CHECK constraint failed: {self.name}.{col.name}"
+                )
+
+    def unique_conflict(self, row: Dict[str, Any],
+                        exclude_key: Any = None) -> Optional[str]:
+        for cols, mapping in self.unique_maps.items():
+            values = tuple(row[c] for c in cols)
+            if any(v is None for v in values):
+                continue
+            hit = mapping.get(values)
+            if hit is not None and hit != exclude_key:
+                return f"UNIQUE constraint failed: {self.name}.{', '.join(cols)}"
+        return None
+
+    def pk_exists(self, value: Any) -> bool:
+        """Does a row with this (single-column) primary key exist?"""
+        if self.ipk or not self.tdef.rowid:
+            return value in self.rows
+        mapping = self.unique_maps[tuple(self.tdef.primary_key)]
+        return (value,) in mapping
+
+    def next_rowid(self) -> int:
+        base = (max(self.rows) + 1) if self.rows else 1
+        if self.tdef.autoincrement:
+            rowid = max(base, self.autoinc_next)
+        else:
+            rowid = base
+        return rowid
+
+
+# ----------------------------------------------------------------------
+# runtime context
+# ----------------------------------------------------------------------
+
+class _Rt:
+    """Per-execution state: frame stack, bind parameters, result caches."""
+
+    __slots__ = ("frames", "seq", "named", "cache", "group")
+
+    def __init__(self, seq: Optional[Sequence[Any]],
+                 named: Optional[Dict[str, Any]]):
+        self.frames: List[Dict[str, Any]] = []
+        self.seq = seq
+        self.named = named
+        self.cache: Dict[Any, Any] = {}  # uncorrelated subquery results
+        self.group: Optional[List[Dict[str, Any]]] = None
+
+
+class _Scope:
+    """Compile-time name resolution: alias -> visible columns (plus the
+    column affinities for table sources — subquery and json_each columns
+    have no affinity, exactly as in SQLite)."""
+
+    def __init__(self, parent: Optional["_Scope"] = None):
+        self.parent = parent
+        self.aliases: Dict[str, Tuple[str, ...]] = {}
+        self.affinities: Dict[str, Optional[Dict[str, str]]] = {}
+
+    def add(self, alias: str, columns: Tuple[str, ...],
+            affinities: Optional[Dict[str, str]] = None) -> None:
+        self.aliases[alias] = columns
+        self.affinities[alias] = affinities
+
+    def column_affinity(self, qualifier: Optional[str],
+                        name: str) -> Optional[str]:
+        """Affinity of the column ``node`` resolves to, None when the
+        name does not resolve or resolves to an affinity-less source."""
+        scope = self
+        while scope is not None:
+            if qualifier is not None:
+                if qualifier in scope.aliases:
+                    mapping = scope.affinities.get(qualifier)
+                    return mapping.get(name) if mapping else None
+            else:
+                for alias, columns in scope.aliases.items():
+                    if name in columns:
+                        mapping = scope.affinities.get(alias)
+                        return mapping.get(name) if mapping else None
+            scope = scope.parent
+        return None
+
+    def resolve(self, qualifier: Optional[str], name: str
+                ) -> Tuple[int, str]:
+        depth, scope = 0, self
+        while scope is not None:
+            if qualifier is not None:
+                columns = scope.aliases.get(qualifier)
+                if columns is not None:
+                    if name not in columns:
+                        raise MemoryEngineError(
+                            f"no such column: {qualifier}.{name}")
+                    return depth, qualifier
+            else:
+                for alias, columns in scope.aliases.items():
+                    if name in columns:
+                        return depth, alias
+            depth, scope = depth + 1, scope.parent
+        raise MemoryEngineError(
+            f"no such column: {(qualifier + '.') if qualifier else ''}{name}")
+
+
+def _split_conjuncts(node: Any) -> List[Any]:
+    if isinstance(node, sp.Bin) and node.op == "AND":
+        return _split_conjuncts(node.left) + _split_conjuncts(node.right)
+    return [node] if node is not None else []
+
+
+_BIN_OPS: Dict[str, Callable[[Any, Any], Any]] = {}
+
+
+def _register_bin_ops() -> None:
+    def arith(fn):
+        def op(a, b):
+            a, b = _to_number(a), _to_number(b)
+            if a is None or b is None:
+                return None
+            return fn(a, b)
+        return op
+
+    def divide(a, b):
+        a, b = _to_number(a), _to_number(b)
+        if a is None or b is None or b == 0:
+            return None
+        if isinstance(a, int) and isinstance(b, int):
+            return _int_truncdiv(a, b)  # exact, truncating toward zero
+        return a / b
+
+    def modulo(a, b):
+        a, b = _to_number(a), _to_number(b)
+        if a is None or b is None or b == 0:
+            return None
+        ia, ib = int(a), int(b)
+        if ib == 0:
+            return None
+        return ia - ib * _int_truncdiv(ia, ib)
+
+    def concat(a, b):
+        if a is None or b is None:
+            return None
+        return _to_text(a) + _to_text(b)
+
+    def compare(want):
+        def op(a, b):
+            order = _sql_compare(a, b)
+            return None if order is None else int(order in want)
+        return op
+
+    _BIN_OPS.update({
+        "+": arith(lambda a, b: a + b),
+        "-": arith(lambda a, b: a - b),
+        "*": arith(lambda a, b: a * b),
+        "/": divide,
+        "%": modulo,
+        "||": concat,
+        "=": lambda a, b: (None if (eq := _sql_eq(a, b)) is None else int(eq)),
+        "!=": lambda a, b: (None if (eq := _sql_eq(a, b)) is None
+                            else int(not eq)),
+        "<": compare((-1,)),
+        "<=": compare((-1, 0)),
+        ">": compare((1,)),
+        ">=": compare((0, 1)),
+    })
+
+
+_register_bin_ops()
+
+
+class _Compiler:
+    """Compiles parsed statements into executable plans over an engine."""
+
+    def __init__(self, engine: "MemoryStorageEngine"):
+        self.engine = engine
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+    def compile(self, ast: Any) -> Any:
+        if isinstance(ast, sp.Select):
+            return _SelectStatement(self.compile_select(ast, None))
+        if isinstance(ast, sp.Insert):
+            return self.compile_insert(ast)
+        if isinstance(ast, sp.Update):
+            return self.compile_update(ast)
+        if isinstance(ast, sp.Delete):
+            return self.compile_delete(ast)
+        raise MemoryEngineError(f"unsupported statement {type(ast).__name__}")
+
+    def _table(self, name: str) -> MemoryTable:
+        table = self.engine.tables.get(name)
+        if table is None:
+            raise MemoryEngineError(f"no such table: {name}")
+        return table
+
+    def compile_insert(self, ast: sp.Insert) -> "_InsertPlan":
+        table = self._table(ast.table)
+        columns = list(ast.columns) if ast.columns else list(table.columns)
+        for col in columns:
+            if col not in table.columns:
+                raise MemoryEngineError(
+                    f"no such column: {ast.table}.{col}")
+        if ast.values is not None:
+            if len(ast.values) != len(columns):
+                raise MemoryEngineError("INSERT arity mismatch")
+            stats = _new_stats()
+            fns = [self.compile_expr(v, _Scope(), stats) for v in ast.values]
+            return _InsertPlan(table, columns, value_fns=fns,
+                               or_ignore=ast.or_ignore)
+        select = self.compile_select(ast.select, None)
+        if len(select.names) != len(columns):
+            raise MemoryEngineError("INSERT..SELECT arity mismatch")
+        return _InsertPlan(table, columns, select=select,
+                           or_ignore=ast.or_ignore)
+
+    def compile_update(self, ast: sp.Update) -> "_UpdatePlan":
+        table = self._table(ast.table)
+        scope = _Scope()
+        scope.add(ast.table, table.columns, table.affinities)
+        stats = _new_stats()
+        sets = []
+        for col, expr in ast.sets:
+            if col not in table.columns:
+                raise MemoryEngineError(f"no such column: {ast.table}.{col}")
+            sets.append((col, self.compile_expr(expr, scope, stats)))
+        driver, filters = self._compile_single_table_where(
+            table, ast.table, ast.where, scope)
+        return _UpdatePlan(table, ast.table, sets, driver, filters)
+
+    def compile_delete(self, ast: sp.Delete) -> "_DeletePlan":
+        table = self._table(ast.table)
+        scope = _Scope()
+        scope.add(ast.table, table.columns, table.affinities)
+        driver, filters = self._compile_single_table_where(
+            table, ast.table, ast.where, scope)
+        return _DeletePlan(table, ast.table, driver, filters)
+
+    def _compile_single_table_where(self, table, alias, where, scope):
+        conjuncts = _split_conjuncts(where)
+        stats = _new_stats()
+        driver = None
+        filters = []
+        for conjunct in conjuncts:
+            if driver is None:
+                probe = self._try_probe(conjunct, table, alias, scope,
+                                        set(), stats)
+                if probe is not None:
+                    driver = probe
+                    continue
+            filters.append(self.compile_expr(conjunct, scope, stats))
+        return driver, filters
+
+    # ------------------------------------------------------------------
+    # SELECT
+    # ------------------------------------------------------------------
+    def compile_select(self, ast: sp.Select, parent: Optional[_Scope]
+                       ) -> "_SelectPlan":
+        scope = _Scope(parent)
+        stats = _new_stats()
+        source_plans: List[_SourcePlan] = []
+        bound: List[str] = []
+        for position, src in enumerate(ast.sources):
+            plan = self._compile_source(src, scope, bound, position, stats)
+            source_plans.append(plan)
+            scope.add(plan.alias, plan.columns, plan.affinities)
+            bound.append(plan.alias)
+
+        # WHERE: split into pushdown (first source only) and post-join.
+        where_conjuncts = _split_conjuncts(ast.where)
+        pushdown: List[Callable] = []
+        post: List[Callable] = []
+        driver = None
+        first = source_plans[0] if source_plans else None
+        for conjunct in where_conjuncts:
+            local = _local_aliases(conjunct, scope)
+            if first is not None and local <= {first.alias}:
+                if driver is None and first.kind == "table":
+                    probe = self._try_probe(
+                        conjunct, first.table, first.alias, scope,
+                        set(), stats)
+                    if probe is not None:
+                        driver = probe
+                        continue
+                cstats = _new_stats()
+                pushdown.append(self.compile_expr(conjunct, scope, cstats))
+                stats["outer"] = max(stats["outer"], cstats["outer"])
+            else:
+                cstats = _new_stats()
+                post.append(self.compile_expr(conjunct, scope, cstats))
+                stats["outer"] = max(stats["outer"], cstats["outer"])
+        if first is not None:
+            first.driver = driver
+            first.pushdown = pushdown
+
+        # select items (expand stars at compile time)
+        item_fns: List[Callable] = []
+        names: List[str] = []
+        alias_exprs: Dict[str, Any] = {}
+        windows: List[Tuple[Any, List[Tuple[Callable, bool]]]] = []
+        istats = _new_stats()
+        istats["windows"] = windows
+        for item in ast.items:
+            if isinstance(item.expr, sp.Star):
+                targets = ([item.expr.table] if item.expr.table
+                           else [p.alias for p in source_plans])
+                for alias in targets:
+                    columns = scope.aliases.get(alias)
+                    if columns is None:
+                        raise MemoryEngineError(f"no such alias: {alias}")
+                    for column in columns:
+                        item_fns.append(
+                            self.compile_expr(sp.Col(alias, column), scope,
+                                              istats))
+                        names.append(column)
+                continue
+            item_fns.append(self.compile_expr(item.expr, scope, istats))
+            if item.alias:
+                names.append(item.alias)
+                alias_exprs[item.alias] = item.expr
+            elif isinstance(item.expr, sp.Col):
+                names.append(item.expr.name)
+            else:
+                names.append(item.text)
+        has_agg = istats["agg"]
+        stats["outer"] = max(stats["outer"], istats["outer"])
+
+        def rewrite_aliases(expr):
+            """Column-first, select-alias-fallback resolution, applied
+            recursively (HAVING/ORDER BY may nest alias references inside
+            larger expressions, e.g. ``HAVING valid_replicas < d.k_safety``).
+            Subqueries keep their own scopes and are left untouched."""
+            if isinstance(expr, sp.Col) and expr.table is None:
+                try:
+                    scope.resolve(None, expr.name)
+                except MemoryEngineError:
+                    if expr.name in alias_exprs:
+                        return alias_exprs[expr.name]
+                return expr
+            if isinstance(expr, sp.Bin):
+                return sp.Bin(expr.op, rewrite_aliases(expr.left),
+                              rewrite_aliases(expr.right))
+            if isinstance(expr, sp.Un):
+                return sp.Un(expr.op, rewrite_aliases(expr.operand))
+            if isinstance(expr, sp.IsNull):
+                return sp.IsNull(rewrite_aliases(expr.operand), expr.negated)
+            if isinstance(expr, sp.Like):
+                return sp.Like(rewrite_aliases(expr.operand),
+                               rewrite_aliases(expr.pattern), expr.negated)
+            if isinstance(expr, sp.Case):
+                return sp.Case(
+                    [(rewrite_aliases(c), rewrite_aliases(v))
+                     for c, v in expr.whens],
+                    rewrite_aliases(expr.default)
+                    if expr.default is not None else None)
+            if isinstance(expr, sp.Cast):
+                return sp.Cast(rewrite_aliases(expr.operand), expr.to_type)
+            if isinstance(expr, sp.InList):
+                return sp.InList(rewrite_aliases(expr.needle),
+                                 [rewrite_aliases(i) for i in expr.items],
+                                 expr.negated)
+            if isinstance(expr, sp.Func):
+                return sp.Func(expr.name,
+                               [rewrite_aliases(a) for a in expr.args],
+                               expr.distinct, expr.star)
+            return expr
+
+        def compile_output_expr(expr):
+            expr = rewrite_aliases(expr)
+            ostats = _new_stats()
+            ostats["windows"] = windows
+            fn = self.compile_expr(expr, scope, ostats)
+            stats["outer"] = max(stats["outer"], ostats["outer"])
+            if ostats["agg"]:
+                nonlocal has_agg
+                has_agg = True
+            return fn
+
+        group_fns = [compile_output_expr(g) for g in ast.group_by]
+        having_fn = (compile_output_expr(ast.having)
+                     if ast.having is not None else None)
+        order_specs = [(compile_output_expr(e), desc)
+                       for e, desc in ast.order_by]
+        limit_fn = None
+        if ast.limit is not None:
+            lstats = _new_stats()
+            limit_fn = self.compile_expr(ast.limit, _Scope(scope), lstats)
+
+        lookup: Dict[str, int] = {}
+        for index, name in enumerate(names):
+            lookup.setdefault(name, index)
+
+        return _SelectPlan(
+            sources=source_plans,
+            post_where=post,
+            item_fns=item_fns,
+            names=tuple(names),
+            lookup=lookup,
+            group_fns=group_fns,
+            having_fn=having_fn,
+            order_specs=order_specs,
+            limit_fn=limit_fn,
+            distinct=ast.distinct,
+            has_agg=has_agg,
+            windows=windows,
+            outer_depth=stats["outer"],
+        )
+
+    def _compile_source(self, src: sp.Source, scope: _Scope,
+                        bound: List[str], position: int,
+                        stats: Dict) -> "_SourcePlan":
+        if src.kind == "table":
+            table = self._table(src.name)
+            plan = _SourcePlan(src.alias, "table", src.join,
+                               table=table, columns=table.columns)
+            plan.affinities = table.affinities
+        elif src.kind == "subquery":
+            sub = self.compile_select(src.subquery, scope.parent)
+            if sub.correlated:
+                # The closed-dialect contract: out-of-contract SQL is a
+                # loud error, not a silently wrong answer.  A correlated
+                # FROM-subquery would also defeat the per-statement row
+                # cache in _SourcePlan.base_rows.
+                raise MemoryEngineError(
+                    "correlated subquery in FROM is outside the dialect")
+            plan = _SourcePlan(src.alias, "subquery", src.join,
+                               subplan=sub, columns=sub.names)
+        else:  # json_each
+            arg_fn = self.compile_expr(src.arg, scope, stats)
+            plan = _SourcePlan(src.alias, "json_each", src.join,
+                               arg_fn=arg_fn, columns=("key", "value"))
+        if src.on is not None:
+            scope.add(plan.alias, plan.columns, plan.affinities)  # for ON
+            conjuncts = _split_conjuncts(src.on)
+            residual = []
+            for conjunct in conjuncts:
+                if plan.probe is None:
+                    probe = self._try_join_probe(conjunct, plan, scope,
+                                                 bound, stats)
+                    if probe is not None:
+                        plan.probe = probe
+                        continue
+                residual.append(self.compile_expr(conjunct, scope, stats))
+            plan.residual_on = residual
+            del scope.aliases[plan.alias]  # re-added by caller in order
+            del scope.affinities[plan.alias]
+        return plan
+
+    # -- probe extraction ----------------------------------------------
+    def _try_probe(self, conjunct: Any, table: MemoryTable, alias: str,
+                   scope: _Scope, allowed_local: set,
+                   stats: Dict) -> Optional[Tuple]:
+        """WHERE-clause driver: `alias.col = expr` or `alias.col IN (...)`
+        with ``expr`` free of disallowed local references.
+
+        Probe expressions are compiled against the caller's ``stats`` so
+        outer-scope references keep marking the select as correlated."""
+        if isinstance(conjunct, sp.Bin) and conjunct.op == "=":
+            for col_side, other in ((conjunct.left, conjunct.right),
+                                    (conjunct.right, conjunct.left)):
+                column = self._probe_column(col_side, table, alias, scope)
+                if column is None:
+                    continue
+                if _local_aliases(other, scope) - allowed_local:
+                    continue
+                fn = self.compile_expr(other, scope, stats)
+                return ("eq", column, fn)
+        if isinstance(conjunct, (sp.InList, sp.InSelect)) and not conjunct.negated:
+            column = self._probe_column(conjunct.needle, table, alias, scope)
+            if column is None:
+                return None
+            if isinstance(conjunct, sp.InList):
+                if any(_local_aliases(i, scope) for i in conjunct.items):
+                    return None
+                member_fns = [self.compile_expr(i, scope, stats)
+                              for i in conjunct.items]
+                return ("in-list", column, member_fns)
+            if _select_is_correlated(conjunct.select):
+                return None
+            sub = self.compile_select(conjunct.select, scope)
+            return ("in-select", column, sub)
+        return None
+
+    def _probe_column(self, node: Any, table: MemoryTable, alias: str,
+                      scope: _Scope) -> Optional[str]:
+        if not isinstance(node, sp.Col):
+            return None
+        try:
+            depth, resolved = scope.resolve(node.table, node.name)
+        except MemoryEngineError:
+            return None
+        if depth != 0 or resolved != alias:
+            return None
+        if node.name not in table.eq_indexes:
+            return None
+        return node.name
+
+    def _try_join_probe(self, conjunct: Any, plan: "_SourcePlan",
+                        scope: _Scope, bound: List[str],
+                        stats: Dict) -> Optional[Tuple]:
+        """ON-clause probe: `new.col = expr(bound aliases | outer)`."""
+        if not (isinstance(conjunct, sp.Bin) and conjunct.op == "="):
+            return None
+        for col_side, other in ((conjunct.left, conjunct.right),
+                                (conjunct.right, conjunct.left)):
+            if not isinstance(col_side, sp.Col):
+                continue
+            try:
+                depth, resolved = scope.resolve(col_side.table, col_side.name)
+            except MemoryEngineError:
+                continue
+            if depth != 0 or resolved != plan.alias:
+                continue
+            if _local_aliases(other, scope) - set(bound):
+                continue
+            if plan.kind == "table":
+                if col_side.name not in plan.table.eq_indexes:
+                    continue
+                fn = self.compile_expr(other, scope, stats)
+                return ("index", col_side.name, fn)
+            if plan.kind == "subquery":
+                fn = self.compile_expr(other, scope, stats)
+                return ("hash", col_side.name, fn)
+        return None
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+    def compile_expr(self, node: Any, scope: _Scope, stats: Dict) -> Callable:
+        if isinstance(node, sp.Lit):
+            value = node.value
+            return lambda rt: value
+        if isinstance(node, sp.Param):
+            if node.index is not None:
+                index = node.index
+                def param_fn(rt, _i=index):
+                    if rt.seq is None:
+                        raise MemoryEngineError("positional parameter "
+                                                "without a sequence")
+                    return rt.seq[_i]
+                return param_fn
+            name = node.name
+            def named_fn(rt, _n=name):
+                if rt.named is None or _n not in rt.named:
+                    raise MemoryEngineError(f"missing named parameter :{_n}")
+                return rt.named[_n]
+            return named_fn
+        if isinstance(node, sp.Col):
+            depth, alias = scope.resolve(node.table, node.name)
+            if depth > 0:
+                stats["outer"] = max(stats["outer"], depth)
+            else:
+                stats["local"].add(alias)
+            index = -1 - depth
+            name = node.name
+            def col_fn(rt, _i=index, _a=alias, _n=name):
+                row = rt.frames[_i][_a]
+                return row[_n] if row is not None else None
+            return col_fn
+        if isinstance(node, sp.Bin):
+            if node.op == "AND":
+                left = self.compile_expr(node.left, scope, stats)
+                right = self.compile_expr(node.right, scope, stats)
+                def and_fn(rt):
+                    lv = left(rt)
+                    if lv is not None and not _is_true(lv):
+                        return 0  # FALSE AND anything = FALSE
+                    rv = right(rt)
+                    if rv is not None and not _is_true(rv):
+                        return 0
+                    if lv is None or rv is None:
+                        return None
+                    return 1
+                return and_fn
+            if node.op == "OR":
+                left = self.compile_expr(node.left, scope, stats)
+                right = self.compile_expr(node.right, scope, stats)
+                def or_fn(rt):
+                    lv = left(rt)
+                    if _is_true(lv):
+                        return 1  # TRUE OR anything = TRUE
+                    rv = right(rt)
+                    if _is_true(rv):
+                        return 1
+                    if lv is None or rv is None:
+                        return None
+                    return 0
+                return or_fn
+            op = _BIN_OPS.get(node.op)
+            if op is None:
+                raise MemoryEngineError(f"unsupported operator {node.op!r}")
+            left = self.compile_expr(node.left, scope, stats)
+            right = self.compile_expr(node.right, scope, stats)
+            if node.op in ("=", "!=", "<", "<=", ">", ">="):
+                left, right = self._affinity_wrap(node, scope, left, right)
+            return lambda rt: op(left(rt), right(rt))
+        if isinstance(node, sp.Un):
+            operand = self.compile_expr(node.operand, scope, stats)
+            if node.op == "NOT":
+                def not_fn(rt):
+                    value = operand(rt)
+                    return None if value is None else int(not _is_true(value))
+                return not_fn
+            if node.op == "-":
+                def neg_fn(rt):
+                    value = _to_number(operand(rt))
+                    return None if value is None else -value
+                return neg_fn
+            return lambda rt: _to_number(operand(rt))
+        if isinstance(node, sp.IsNull):
+            operand = self.compile_expr(node.operand, scope, stats)
+            if node.negated:
+                return lambda rt: int(operand(rt) is not None)
+            return lambda rt: int(operand(rt) is None)
+        if isinstance(node, sp.Like):
+            operand = self.compile_expr(node.operand, scope, stats)
+            pattern = self.compile_expr(node.pattern, scope, stats)
+            negated = node.negated
+            def like_fn(rt):
+                result = _like_matches(operand(rt), pattern(rt))
+                if result is None:
+                    return None
+                return int((not result) if negated else result)
+            return like_fn
+        if isinstance(node, sp.Case):
+            whens = [(self.compile_expr(c, scope, stats),
+                      self.compile_expr(v, scope, stats))
+                     for c, v in node.whens]
+            default = (self.compile_expr(node.default, scope, stats)
+                       if node.default is not None else None)
+            def case_fn(rt):
+                for cond, value in whens:
+                    if _is_true(cond(rt)):
+                        return value(rt)
+                return default(rt) if default is not None else None
+            return case_fn
+        if isinstance(node, sp.Cast):
+            operand = self.compile_expr(node.operand, scope, stats)
+            to_type = node.to_type
+            def cast_fn(rt):
+                value = operand(rt)
+                if value is None:
+                    return None
+                if to_type in ("INTEGER", "INT"):
+                    number = _to_number(value)
+                    return int(number) if number is not None else 0
+                if to_type == "REAL":
+                    number = _to_number(value)
+                    return float(number) if number is not None else 0.0
+                if to_type == "TEXT":
+                    return _to_text(value)
+                return value
+            return cast_fn
+        if isinstance(node, sp.InList):
+            needle = self.compile_expr(node.needle, scope, stats)
+            members = [self.compile_expr(i, scope, stats)
+                       for i in node.items]
+            needle_aff = self._operand_affinity(node.needle, scope)
+            if needle_aff in _NUMERIC_AFFINITIES:
+                members = [_wrap(m, _coerce_numeric) for m in members]
+            elif needle_aff == "TEXT":
+                members = [_wrap(m, _coerce_text) for m in members]
+            negated = node.negated
+            def in_list_fn(rt):
+                value = needle(rt)
+                if value is None:
+                    return None
+                found = any(_is_true(_sql_eq(value, m(rt))) for m in members)
+                return int((not found) if negated else found)
+            return in_list_fn
+        if isinstance(node, sp.InSelect):
+            needle = self.compile_expr(node.needle, scope, stats)
+            sub = self.compile_select(node.select, scope)
+            stats["outer"] = max(stats["outer"], sub.outer_depth - 1)
+            negated = node.negated
+            needle_aff = self._operand_affinity(node.needle, scope)
+            coerce = None
+            if needle_aff in _NUMERIC_AFFINITIES:
+                coerce = _coerce_numeric
+            elif needle_aff == "TEXT":
+                coerce = _coerce_text
+            key = id(node)
+            def in_select_fn(rt):
+                value = needle(rt)
+                if value is None:
+                    return None
+                if sub.correlated:
+                    members = sub.first_column_set(rt, coerce)
+                else:
+                    members = rt.cache.get(key)
+                    if members is None:
+                        members = sub.first_column_set(rt, coerce)
+                        rt.cache[key] = members
+                found = _probe_norm(value) in members
+                return int((not found) if negated else found)
+            return in_select_fn
+        if isinstance(node, sp.Exists):
+            sub = self.compile_select(node.select, scope)
+            stats["outer"] = max(stats["outer"], sub.outer_depth - 1)
+            negated = node.negated
+            key = id(node)
+            def exists_fn(rt):
+                if sub.correlated:
+                    found = sub.any(rt)
+                else:
+                    found = rt.cache.get(key)
+                    if found is None:
+                        found = sub.any(rt)
+                        rt.cache[key] = found
+                return int((not found) if negated else found)
+            return exists_fn
+        if isinstance(node, sp.ScalarSelect):
+            sub = self.compile_select(node.select, scope)
+            stats["outer"] = max(stats["outer"], sub.outer_depth - 1)
+            def scalar_fn(rt):
+                rows = sub.execute(rt)
+                return rows[0][0] if rows else None
+            return scalar_fn
+        if isinstance(node, sp.WindowFunc):
+            if node.name != "ROW_NUMBER":
+                raise MemoryEngineError(
+                    f"unsupported window function {node.name}")
+            order = [(self.compile_expr(e, scope, stats), desc)
+                     for e, desc in node.order_by]
+            wid = len(stats["windows"])
+            stats["windows"].append(order)
+            key = ("#win", wid)
+            def window_fn(rt, _k=key):
+                return rt.frames[-1][_k]
+            return window_fn
+        if isinstance(node, sp.Func):
+            return self._compile_func(node, scope, stats)
+        raise MemoryEngineError(f"unsupported expression {type(node).__name__}")
+
+    def _affinity_wrap(self, node: sp.Bin, scope: _Scope,
+                       left: Callable, right: Callable):
+        """SQLite comparison affinity: a numeric-affinity column pulls a
+        text comparand to a number; a TEXT column pulls an affinity-less
+        numeric comparand to text."""
+        left_aff = self._operand_affinity(node.left, scope)
+        right_aff = self._operand_affinity(node.right, scope)
+        if left_aff in _NUMERIC_AFFINITIES and                 right_aff not in _NUMERIC_AFFINITIES:
+            right = _wrap(right, _coerce_numeric)
+        elif right_aff in _NUMERIC_AFFINITIES and                 left_aff not in _NUMERIC_AFFINITIES:
+            left = _wrap(left, _coerce_numeric)
+        elif left_aff == "TEXT" and right_aff is None:
+            right = _wrap(right, _coerce_text)
+        elif right_aff == "TEXT" and left_aff is None:
+            left = _wrap(left, _coerce_text)
+        return left, right
+
+    def _operand_affinity(self, node: Any, scope: _Scope) -> Optional[str]:
+        if isinstance(node, sp.Col):
+            return scope.column_affinity(node.table, node.name)
+        return None
+
+    def _compile_func(self, node: sp.Func, scope: _Scope,
+                      stats: Dict) -> Callable:
+        name = node.name
+        if name not in sp.AGGREGATES:
+            raise MemoryEngineError(f"unsupported function {name}")
+        stats["agg"] = True
+        if node.star:
+            if name != "COUNT":
+                raise MemoryEngineError(f"{name}(*) is not supported")
+            def count_star(rt):
+                return len(rt.group) if rt.group is not None else 0
+            return count_star
+        if len(node.args) != 1:
+            raise MemoryEngineError(f"{name} takes one argument")
+        arg = self.compile_expr(node.args[0], scope, stats)
+        distinct = node.distinct
+
+        def gather(rt):
+            group = rt.group if rt.group is not None else []
+            frames = rt.frames
+            saved = frames[-1]
+            values = []
+            try:
+                for env in group:
+                    frames[-1] = env
+                    value = arg(rt)
+                    if value is not None:
+                        values.append(value)
+            finally:
+                frames[-1] = saved
+            if distinct:
+                seen, unique = set(), []
+                for value in values:
+                    marker = _probe_norm(value)
+                    if marker not in seen:
+                        seen.add(marker)
+                        unique.append(value)
+                return unique
+            return values
+
+        if name == "COUNT":
+            return lambda rt: len(gather(rt))
+        if name == "SUM":
+            def sum_fn(rt):
+                values = [_to_number(v) for v in gather(rt)]
+                if not values:
+                    return None
+                total = sum(values)
+                if all(isinstance(v, int) for v in values):
+                    return int(total)
+                return float(total)
+            return sum_fn
+        if name == "TOTAL":
+            return lambda rt: float(sum(_to_number(v) for v in gather(rt)))
+        if name == "AVG":
+            def avg_fn(rt):
+                values = [_to_number(v) for v in gather(rt)]
+                if not values:
+                    return None
+                return sum(values) / len(values)
+            return avg_fn
+        if name == "MIN":
+            def min_fn(rt):
+                values = gather(rt)
+                return min(values, key=sql_sort_key) if values else None
+            return min_fn
+        def max_fn(rt):
+            values = gather(rt)
+            return max(values, key=sql_sort_key) if values else None
+        return max_fn
+
+
+def _new_stats() -> Dict[str, Any]:
+    # "outer" is the maximum frame depth any compiled reference reaches,
+    # relative to the current select (0 = local only).  A nested
+    # subquery's depth-1 references resolve to *this* select's frame, so
+    # crossing a select boundary decrements the depth by one — only
+    # depth >= 1 after that still escapes this select.
+    return {"agg": False, "outer": 0, "local": set(), "windows": []}
+
+
+def _wrap(fn: Callable, coerce: Callable) -> Callable:
+    return lambda rt: coerce(fn(rt))
+
+
+#: Affinities that pull text operands to numbers in comparisons.
+_NUMERIC_AFFINITIES = ("INTEGER", "REAL", "NUMERIC")
+
+
+def _coerce_numeric(value: Any) -> Any:
+    """SQLite comparison affinity: text compared to a numeric column is
+    converted to a number when well-formed."""
+    if isinstance(value, str):
+        number = _numeric_from_text(value)
+        return number if number is not None else value
+    return value
+
+
+def _coerce_text(value: Any) -> Any:
+    """TEXT affinity applied to an affinity-less comparison operand."""
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return str(value)
+    return value
+
+
+def _probe_norm(value: Any) -> Any:
+    if isinstance(value, bool):
+        return float(int(value))
+    if isinstance(value, (int, float)):
+        return float(value)
+    return value
+
+
+def _local_aliases(node: Any, scope: _Scope) -> set:
+    """Depth-0 aliases referenced by ``node`` (subqueries included)."""
+    found: set = set()
+
+    def walk(n: Any) -> None:
+        if isinstance(n, sp.Col):
+            try:
+                depth, alias = scope.resolve(n.table, n.name)
+            except MemoryEngineError:
+                return
+            if depth == 0:
+                found.add(alias)
+            return
+        if isinstance(n, (sp.Select,)):
+            for item in n.items:
+                if not isinstance(item.expr, sp.Star):
+                    walk(item.expr)
+            for src in n.sources:
+                if src.on is not None:
+                    walk(src.on)
+                if src.kind == "json_each":
+                    walk(src.arg)
+            if n.where is not None:
+                walk(n.where)
+            if n.having is not None:
+                walk(n.having)
+            for g in n.group_by:
+                walk(g)
+            for e, _ in n.order_by:
+                walk(e)
+            if n.limit is not None:
+                walk(n.limit)
+            return
+        if isinstance(n, sp.Bin):
+            walk(n.left)
+            walk(n.right)
+        elif isinstance(n, sp.Un):
+            walk(n.operand)
+        elif isinstance(n, sp.IsNull):
+            walk(n.operand)
+        elif isinstance(n, sp.Like):
+            walk(n.operand)
+            walk(n.pattern)
+        elif isinstance(n, sp.Case):
+            for c, v in n.whens:
+                walk(c)
+                walk(v)
+            if n.default is not None:
+                walk(n.default)
+        elif isinstance(n, sp.Cast):
+            walk(n.operand)
+        elif isinstance(n, sp.InList):
+            walk(n.needle)
+            for i in n.items:
+                walk(i)
+        elif isinstance(n, sp.InSelect):
+            walk(n.needle)
+            walk(n.select)
+        elif isinstance(n, sp.Exists):
+            walk(n.select)
+        elif isinstance(n, sp.ScalarSelect):
+            walk(n.select)
+        elif isinstance(n, sp.Func):
+            for a in n.args:
+                walk(a)
+        elif isinstance(n, sp.WindowFunc):
+            for e, _ in n.order_by:
+                walk(e)
+
+    if node is not None:
+        walk(node)
+    return found
+
+
+def _select_is_correlated(select: sp.Select) -> bool:
+    """Conservative correlation test on the raw AST: any qualified column
+    whose qualifier is not one of the select's own aliases."""
+    own = set()
+    for src in select.sources:
+        own.add(src.alias or src.name)
+
+    class _Found(Exception):
+        pass
+
+    def walk_expr(n: Any) -> None:
+        if isinstance(n, sp.Col):
+            if n.table is not None and n.table not in own:
+                raise _Found
+            return
+        for attr in ("left", "right", "operand", "pattern", "needle"):
+            child = getattr(n, attr, None)
+            if child is not None and not isinstance(child, (str, bool)):
+                walk_expr(child)
+        if isinstance(n, sp.Case):
+            for c, v in n.whens:
+                walk_expr(c)
+                walk_expr(v)
+            if n.default is not None:
+                walk_expr(n.default)
+        if isinstance(n, sp.InList):
+            for i in n.items:
+                walk_expr(i)
+        if isinstance(n, (sp.InSelect, sp.Exists, sp.ScalarSelect)):
+            if _select_is_correlated(n.select):
+                raise _Found
+        if isinstance(n, sp.Func):
+            for a in n.args:
+                walk_expr(a)
+
+    try:
+        for item in select.items:
+            if not isinstance(item.expr, sp.Star):
+                walk_expr(item.expr)
+        for src in select.sources:
+            if src.on is not None:
+                walk_expr(src.on)
+        if select.where is not None:
+            walk_expr(select.where)
+        if select.having is not None:
+            walk_expr(select.having)
+    except _Found:
+        return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# execution plans
+# ----------------------------------------------------------------------
+
+class _SourcePlan:
+    """One FROM source with its access path (scan / index / hash)."""
+
+    def __init__(self, alias: str, kind: str, join: str,
+                 table: Optional[MemoryTable] = None,
+                 subplan: Optional["_SelectPlan"] = None,
+                 arg_fn: Optional[Callable] = None,
+                 columns: Tuple[str, ...] = ()):
+        self.alias = alias
+        self.kind = kind
+        self.join = join
+        self.table = table
+        self.subplan = subplan
+        self.arg_fn = arg_fn
+        self.columns = columns
+        self.affinities: Optional[Dict[str, str]] = None
+        self.probe: Optional[Tuple] = None       # join access path
+        self.residual_on: List[Callable] = []
+        self.driver: Optional[Tuple] = None      # first-source WHERE driver
+        self.pushdown: List[Callable] = []
+
+    # -- row production -------------------------------------------------
+    def base_rows(self, rt: _Rt) -> List[Dict[str, Any]]:
+        if self.kind == "table":
+            rows = self.table.rows
+            return [rows[key] for key in self.table.scan_keys()]
+        if self.kind == "subquery":
+            cache_key = (id(self), "rows")
+            cached = rt.cache.get(cache_key)
+            if cached is None:
+                result = self.subplan.execute(rt)
+                cached = [dict(zip(self.subplan.names, row._values))
+                          for row in result]
+                rt.cache[cache_key] = cached
+            return cached
+        # json_each
+        payload = self.arg_fn(rt)
+        if payload is None:
+            return []
+        values = json.loads(payload) if isinstance(payload, str) else payload
+        return [{"key": index, "value": value}
+                for index, value in enumerate(values)]
+
+    def first_rows(self, rt: _Rt) -> List[Dict[str, Any]]:
+        """Rows for the first source, honouring the WHERE driver."""
+        if self.driver is None or self.kind != "table":
+            return self.base_rows(rt)
+        kind, column, payload = self.driver
+        table = self.table
+        if kind == "eq":
+            value = payload(rt)
+            keys = table.probe(column, value)
+        elif kind == "in-list":
+            found = set()
+            for fn in payload:
+                value = fn(rt)
+                if value is not None:
+                    found.update(table.probe(column, value))
+            keys = sorted(found)
+        else:  # in-select
+            members = payload.first_column_values(rt)
+            found = set()
+            for value in members:
+                if value is not None:
+                    found.update(table.probe(column, value))
+            keys = sorted(found)
+        return [table.rows[key] for key in keys]
+
+    def joined_rows(self, rt: _Rt) -> List[Dict[str, Any]]:
+        """Candidate rows for a joined source given the bound frames."""
+        if self.probe is None:
+            return self.base_rows(rt)
+        kind, column, fn = self.probe
+        if kind == "index":
+            value = fn(rt)
+            keys = self.table.probe(column, value)
+            return [self.table.rows[key] for key in keys]
+        # hash join over a materialized source
+        cache_key = (id(self), "hash")
+        buckets = rt.cache.get(cache_key)
+        if buckets is None:
+            buckets = {}
+            for row in self.base_rows(rt):
+                key = row[column]
+                if key is None:
+                    continue
+                buckets.setdefault(_probe_norm(key), []).append(row)
+            rt.cache[cache_key] = buckets
+        value = fn(rt)
+        if value is None:
+            return []
+        return buckets.get(_probe_norm(value), [])
+
+
+class _SelectPlan:
+    """A compiled SELECT: row pipeline + projection."""
+
+    def __init__(self, sources, post_where, item_fns, names, lookup,
+                 group_fns, having_fn, order_specs, limit_fn, distinct,
+                 has_agg, windows, outer_depth):
+        self.sources = sources
+        self.post_where = post_where
+        self.item_fns = item_fns
+        self.names = names
+        self.lookup = lookup
+        self.group_fns = group_fns
+        self.having_fn = having_fn
+        self.order_specs = order_specs
+        self.limit_fn = limit_fn
+        self.distinct = distinct
+        self.has_agg = has_agg
+        self.windows = windows
+        self.outer_depth = outer_depth
+        #: references escape this select's own frame
+        self.correlated = outer_depth >= 1
+        self._needs_buffer = bool(
+            windows or group_fns or has_agg or order_specs or distinct
+        )
+
+    # -- env production -------------------------------------------------
+    def _stream(self, rt: _Rt):
+        env: Dict[str, Any] = {}
+        rt.frames.append(env)
+        try:
+            if not self.sources:
+                yield env
+                return
+            yield from self._level(0, env, rt)
+        finally:
+            rt.frames.pop()
+
+    def _level(self, index: int, env: Dict[str, Any], rt: _Rt):
+        src = self.sources[index]
+        last = index == len(self.sources) - 1
+        if index == 0:
+            rows = src.first_rows(rt)
+            for row in rows:
+                env[src.alias] = row
+                if all(_is_true(fn(rt)) for fn in src.pushdown):
+                    if last:
+                        yield env
+                    else:
+                        yield from self._level(index + 1, env, rt)
+            return
+        rows = src.joined_rows(rt)
+        if src.join == "left":
+            matched = False
+            for row in rows:
+                env[src.alias] = row
+                if all(_is_true(fn(rt)) for fn in src.residual_on):
+                    matched = True
+                    if last:
+                        yield env
+                    else:
+                        yield from self._level(index + 1, env, rt)
+            if not matched:
+                env[src.alias] = None
+                if last:
+                    yield env
+                else:
+                    yield from self._level(index + 1, env, rt)
+            return
+        for row in rows:
+            env[src.alias] = row
+            if all(_is_true(fn(rt)) for fn in src.residual_on):
+                if last:
+                    yield env
+                else:
+                    yield from self._level(index + 1, env, rt)
+
+    def _passes_where(self, rt: _Rt) -> bool:
+        return all(_is_true(fn(rt)) for fn in self.post_where)
+
+    def _limit(self, rt: _Rt) -> Optional[int]:
+        if self.limit_fn is None:
+            return None
+        value = self.limit_fn(rt)
+        if value is None:
+            return None
+        value = int(value)
+        return None if value < 0 else value
+
+    # -- execution ------------------------------------------------------
+    def execute(self, rt: _Rt) -> List[MemoryRow]:
+        limit = self._limit(rt)
+        if not self._needs_buffer:
+            outputs: List[MemoryRow] = []
+            if limit == 0:
+                return outputs
+            stream = self._stream(rt)
+            for env in stream:
+                if not self._passes_where(rt):
+                    continue
+                values = tuple(fn(rt) for fn in self.item_fns)
+                outputs.append(MemoryRow(self.names, values, self.lookup))
+                if limit is not None and len(outputs) >= limit:
+                    stream.close()
+                    break
+            return outputs
+
+        envs: List[Dict[str, Any]] = []
+        for env in self._stream(rt):
+            if self._passes_where(rt):
+                envs.append(dict(env))
+        self._apply_windows(envs, rt)
+
+        decorated: List[Tuple[Tuple, List]] = []  # (values, order keys)
+        if self.group_fns or self.has_agg:
+            decorated = self._grouped_outputs(envs, rt)
+        else:
+            for env in envs:
+                rt.frames.append(env)
+                try:
+                    values = tuple(fn(rt) for fn in self.item_fns)
+                    keys = [fn(rt) for fn, _ in self.order_specs]
+                finally:
+                    rt.frames.pop()
+                decorated.append((values, keys))
+
+        if self.distinct:
+            seen = set()
+            unique = []
+            for values, keys in decorated:
+                marker = tuple(sql_sort_key(v) for v in values)
+                if marker not in seen:
+                    seen.add(marker)
+                    unique.append((values, keys))
+            decorated = unique
+
+        for position in range(len(self.order_specs) - 1, -1, -1):
+            descending = self.order_specs[position][1]
+            decorated.sort(
+                key=lambda pair, _p=position: sql_sort_key(pair[1][_p]),
+                reverse=descending,
+            )
+
+        if limit is not None:
+            decorated = decorated[:limit]
+        return [MemoryRow(self.names, values, self.lookup)
+                for values, _ in decorated]
+
+    def _apply_windows(self, envs: List[Dict[str, Any]], rt: _Rt) -> None:
+        for wid, order in enumerate(self.windows):
+            ranked = list(range(len(envs)))
+            keyed: List[List[Any]] = []
+            for env in envs:
+                rt.frames.append(env)
+                try:
+                    keyed.append([fn(rt) for fn, _ in order])
+                finally:
+                    rt.frames.pop()
+            for position in range(len(order) - 1, -1, -1):
+                descending = order[position][1]
+                ranked.sort(
+                    key=lambda i, _p=position: sql_sort_key(keyed[i][_p]),
+                    reverse=descending,
+                )
+            for rank, env_index in enumerate(ranked, start=1):
+                envs[env_index][("#win", wid)] = rank
+
+    def _grouped_outputs(self, envs, rt: _Rt):
+        aliases = [src.alias for src in self.sources]
+        groups: Dict[Tuple, List[Dict[str, Any]]] = {}
+        for env in envs:
+            rt.frames.append(env)
+            try:
+                key = tuple(sql_sort_key(fn(rt)) for fn in self.group_fns)
+            finally:
+                rt.frames.pop()
+            groups.setdefault(key, []).append(env)
+        if not self.group_fns and not groups:
+            groups[()] = []  # aggregate over an empty relation
+        decorated = []
+        for key in sorted(groups):
+            members = groups[key]
+            head = members[0] if members else {a: None for a in aliases}
+            rt.frames.append(head)
+            rt.group = members
+            try:
+                if self.having_fn is not None and \
+                        not _is_true(self.having_fn(rt)):
+                    continue
+                values = tuple(fn(rt) for fn in self.item_fns)
+                keys = [fn(rt) for fn, _ in self.order_specs]
+            finally:
+                rt.group = None
+                rt.frames.pop()
+            decorated.append((values, keys))
+        return decorated
+
+    # -- auxiliary entry points ----------------------------------------
+    def first_column_values(self, rt: _Rt) -> List[Any]:
+        return [row[0] for row in self.execute(rt)]
+
+    def first_column_set(self, rt: _Rt,
+                         coerce: Optional[Callable] = None) -> frozenset:
+        values = self.first_column_values(rt)
+        if coerce is not None:
+            values = [coerce(value) for value in values]
+        return frozenset(
+            _probe_norm(value) for value in values if value is not None
+        )
+
+    def any(self, rt: _Rt) -> bool:
+        if self._needs_buffer:
+            return bool(self.execute(rt))
+        stream = self._stream(rt)
+        for _env in stream:
+            if self._passes_where(rt):
+                stream.close()
+                return True
+        return False
+
+
+class _SelectStatement:
+    kind = "select"
+
+    def __init__(self, plan: _SelectPlan):
+        self.plan = plan
+
+    def run(self, engine: "MemoryStorageEngine", rt: _Rt) -> MemoryCursor:
+        rows = self.plan.execute(rt)
+        return MemoryCursor(rows=rows, rowcount=-1)
+
+
+class _InsertPlan:
+    kind = "insert"
+
+    def __init__(self, table: MemoryTable, columns: List[str],
+                 value_fns: Optional[List[Callable]] = None,
+                 select: Optional[_SelectPlan] = None,
+                 or_ignore: bool = False):
+        self.table = table
+        self.columns = columns
+        self.value_fns = value_fns
+        self.select = select
+        self.or_ignore = or_ignore
+
+    def run(self, engine: "MemoryStorageEngine", rt: _Rt) -> MemoryCursor:
+        if self.value_fns is not None:
+            batches = [[fn(rt) for fn in self.value_fns]]
+        else:
+            # materialize fully before writing: the SELECT may read the
+            # target table (the scheduling pass inserts into `matches`
+            # while anti-joining against it)
+            batches = [list(row) for row in self.select.execute(rt)]
+        inserted = 0
+        lastrowid = None
+        for values in batches:
+            count, rowid = engine._insert_row(
+                self.table, self.columns, values, self.or_ignore)
+            inserted += count
+            if rowid is not None:
+                lastrowid = rowid
+        return MemoryCursor(rowcount=inserted, lastrowid=lastrowid)
+
+
+class _UpdatePlan:
+    kind = "update"
+
+    def __init__(self, table: MemoryTable, alias: str,
+                 sets: List[Tuple[str, Callable]],
+                 driver: Optional[Tuple], filters: List[Callable]):
+        self.table = table
+        self.alias = alias
+        self.sets = sets
+        self.driver = driver
+        self.filters = filters
+
+    def _matched_keys(self, rt: _Rt, table: MemoryTable) -> List[Any]:
+        env: Dict[str, Any] = {}
+        rt.frames.append(env)
+        try:
+            keys = _driver_keys(self.driver, table, rt)
+            matched = []
+            for key in keys:
+                env[self.alias] = table.rows[key]
+                if all(_is_true(fn(rt)) for fn in self.filters):
+                    matched.append(key)
+            return matched
+        finally:
+            rt.frames.pop()
+
+    def run(self, engine: "MemoryStorageEngine", rt: _Rt) -> MemoryCursor:
+        table = self.table
+        matched = self._matched_keys(rt, table)
+        env: Dict[str, Any] = {}
+        rt.frames.append(env)
+        try:
+            for key in matched:
+                env[self.alias] = table.rows[key]
+                changes = {col: fn(rt) for col, fn in self.sets}
+                engine._update_row(table, key, changes)
+        finally:
+            rt.frames.pop()
+        return MemoryCursor(rowcount=len(matched))
+
+
+class _DeletePlan:
+    kind = "delete"
+
+    def __init__(self, table: MemoryTable, alias: str,
+                 driver: Optional[Tuple], filters: List[Callable]):
+        self.table = table
+        self.alias = alias
+        self.driver = driver
+        self.filters = filters
+
+    def run(self, engine: "MemoryStorageEngine", rt: _Rt) -> MemoryCursor:
+        table = self.table
+        env: Dict[str, Any] = {}
+        rt.frames.append(env)
+        try:
+            keys = _driver_keys(self.driver, table, rt)
+            matched = []
+            for key in keys:
+                env[self.alias] = table.rows[key]
+                if all(_is_true(fn(rt)) for fn in self.filters):
+                    matched.append(key)
+        finally:
+            rt.frames.pop()
+        for key in matched:
+            engine._delete_key(table, key)
+        return MemoryCursor(rowcount=len(matched))
+
+
+def _driver_keys(driver: Optional[Tuple], table: MemoryTable,
+                 rt: _Rt) -> List[Any]:
+    if driver is None:
+        return list(table.scan_keys())
+    kind, column, payload = driver
+    if kind == "eq":
+        return table.probe(column, payload(rt))
+    if kind == "in-list":
+        found = set()
+        for fn in payload:
+            value = fn(rt)
+            if value is not None:
+                found.update(table.probe(column, value))
+        return sorted(found)
+    found = set()
+    for value in payload.first_column_values(rt):
+        if value is not None:
+            found.update(table.probe(column, value))
+    return sorted(found)
+
+
+# ----------------------------------------------------------------------
+# the engine
+# ----------------------------------------------------------------------
+
+class MemoryStorageEngine(StorageEngine):
+    """Dict-backed storage engine interpreting the access-layer dialect.
+
+    ``path`` is accepted for interface parity and ignored — the store is
+    always in-process memory.
+    """
+
+    name = "memory"
+    INTEGRITY_ERRORS = (MemoryIntegrityError,)
+
+    def __init__(self, path: str = ":memory:", statement_cache_size: int = 128):
+        self._init_accounting(statement_cache_size)
+        self.tables: Dict[str, MemoryTable] = {
+            tdef.name: MemoryTable(tdef) for tdef in TABLE_DEFS
+        }
+        #: parent table -> [(child table name, fk)] for delete actions
+        self.children: Dict[str, List[Tuple[str, Any]]] = {}
+        for tdef in TABLE_DEFS:
+            for fk in tdef.foreign_keys:
+                self.children.setdefault(fk.ref_table, []).append(
+                    (tdef.name, fk))
+        self._compiler = _Compiler(self)
+        self._plans: Dict[str, Any] = {}
+        self._undo: Optional[List[Tuple]] = None
+
+    # ------------------------------------------------------------------
+    # statement execution (raw hooks for the accounted base class)
+    # ------------------------------------------------------------------
+    def _plan(self, sql: str) -> Any:
+        plan = self._plans.get(sql)
+        if plan is None:
+            plan = self._compiler.compile(sp.parse(sql))
+            self._plans[sql] = plan
+        return plan
+
+    def _make_rt(self, params: Any) -> _Rt:
+        if isinstance(params, dict):
+            return _Rt(None, params)
+        return _Rt(list(params), None)
+
+    def _run_statement(self, plan: Any, params: Any) -> MemoryCursor:
+        """Run one statement with statement-level atomicity."""
+        outer = self._undo
+        self._undo = []
+        try:
+            cursor = plan.run(self, self._make_rt(params))
+        except Exception:
+            self._replay(self._undo)
+            self._undo = outer
+            raise
+        entries = self._undo
+        self._undo = outer
+        if outer is not None:
+            outer.extend(entries)
+        return cursor
+
+    def _execute_raw(self, sql: str, params: Sequence[Any]) -> MemoryCursor:
+        return self._run_statement(self._plan(sql), params)
+
+    def _executemany_raw(self, sql: str,
+                         rows: Sequence[Sequence[Any]]) -> MemoryCursor:
+        plan = self._plan(sql)
+        total = 0
+        lastrowid = None
+        for params in rows:
+            cursor = self._run_statement(plan, params)
+            if cursor.rowcount > 0:
+                total += cursor.rowcount
+            if cursor.lastrowid is not None:
+                lastrowid = cursor.lastrowid
+        rowcount = total if plan.kind != "select" else -1
+        return MemoryCursor(rowcount=rowcount, lastrowid=lastrowid)
+
+    def run_script(self, statements: Sequence[str]) -> None:
+        """DDL is a no-op: the schema is built from ``TABLE_DEFS``."""
+
+    # ------------------------------------------------------------------
+    # transactions
+    # ------------------------------------------------------------------
+    def begin(self) -> None:
+        if self._undo is not None:
+            raise MemoryEngineError("transaction already open")
+        self._undo = []
+
+    def _commit_raw(self) -> None:
+        self._undo = None
+
+    def _rollback_raw(self) -> None:
+        if self._undo is not None:
+            self._replay(self._undo)
+        self._undo = None
+
+    def _replay(self, entries: List[Tuple]) -> None:
+        for entry in reversed(entries):
+            action = entry[0]
+            if action == "insert":
+                _, table, key = entry
+                table.raw_delete(key)
+            elif action == "delete":
+                _, table, key, row = entry
+                table.raw_insert(key, row)
+            elif action == "update":
+                _, table, key, old = entry
+                table.raw_update(key, old)
+            else:  # autoinc
+                _, table, old_next = entry
+                table.autoinc_next = old_next
+
+    def close(self) -> None:
+        """Nothing to release; kept for interface parity."""
+
+    # ------------------------------------------------------------------
+    # constraint-enforcing mutations
+    # ------------------------------------------------------------------
+    def _insert_row(self, table: MemoryTable, columns: List[str],
+                    values: List[Any], or_ignore: bool
+                    ) -> Tuple[int, Optional[int]]:
+        tdef = table.tdef
+        provided = dict(zip(columns, values))
+        row: Dict[str, Any] = {}
+        for col in tdef.columns:
+            if col.name in provided:
+                row[col.name] = apply_affinity(provided[col.name], col.affinity)
+            elif col.has_default:
+                row[col.name] = apply_affinity(col.default, col.affinity)
+            else:
+                row[col.name] = None
+        rowkey: Any = None
+        if table.ipk:
+            pk = row[table.ipk]
+            if pk is not None:
+                if not isinstance(pk, int):
+                    raise MemoryIntegrityError(
+                        f"datatype mismatch: {table.name}.{table.ipk}")
+                rowkey = pk
+        elif not tdef.rowid:
+            rowkey = tuple(row[c] for c in tdef.primary_key)
+        try:
+            table.check_row_constraints(row)
+        except MemoryIntegrityError:
+            if or_ignore:
+                return 0, None
+            raise
+        conflict = None
+        if rowkey is not None and rowkey in table.rows:
+            conflict = (f"UNIQUE constraint failed: {table.name}."
+                        f"{', '.join(tdef.primary_key)}")
+        if conflict is None:
+            conflict = table.unique_conflict(row)
+        if conflict is not None:
+            if or_ignore:
+                return 0, None
+            raise MemoryIntegrityError(conflict)
+        # OR IGNORE does not suppress foreign-key violations (SQLite).
+        self._check_fks(table, row, None)
+        if rowkey is None:
+            rowkey = table.next_rowid()
+            if table.ipk:
+                row[table.ipk] = rowkey
+        if tdef.autoincrement and isinstance(rowkey, int):
+            if self._undo is not None:
+                self._undo.append(("autoinc", table, table.autoinc_next))
+            table.autoinc_next = max(table.autoinc_next, rowkey + 1)
+        table.raw_insert(rowkey, row)
+        if self._undo is not None:
+            self._undo.append(("insert", table, rowkey))
+        return 1, (rowkey if isinstance(rowkey, int) else None)
+
+    def _update_row(self, table: MemoryTable, key: Any,
+                    changes: Dict[str, Any]) -> None:
+        tdef = table.tdef
+        old = table.rows[key]
+        new = dict(old)
+        for column, value in changes.items():
+            new[column] = apply_affinity(value, tdef.column(column).affinity)
+        for pk_col in tdef.primary_key:
+            if new[pk_col] != old[pk_col]:
+                raise MemoryEngineError(
+                    f"updating primary key {table.name}.{pk_col} "
+                    "is outside the dialect")
+        table.check_row_constraints(new)
+        conflict = table.unique_conflict(new, exclude_key=key)
+        if conflict is not None:
+            raise MemoryIntegrityError(conflict)
+        self._check_fks(table, new, old)
+        table.raw_update(key, new)
+        if self._undo is not None:
+            self._undo.append(("update", table, key, old))
+
+    def _delete_key(self, table: MemoryTable, key: Any) -> None:
+        if key not in table.rows:
+            return  # already removed by a cascade in this statement
+        row = table.rows[key]
+        for child_name, fk in self.children.get(table.name, ()):
+            child = self.tables[child_name]
+            value = row[fk.ref_column]
+            child_keys = child.probe(fk.column, value)
+            if not child_keys:
+                continue
+            if fk.on_delete == "cascade":
+                for child_key in list(child_keys):
+                    self._delete_key(child, child_key)
+            else:
+                raise MemoryIntegrityError("FOREIGN KEY constraint failed")
+        table.raw_delete(key)
+        if self._undo is not None:
+            self._undo.append(("delete", table, key, row))
+
+    def _check_fks(self, table: MemoryTable, row: Dict[str, Any],
+                   old_row: Optional[Dict[str, Any]]) -> None:
+        for fk in table.tdef.foreign_keys:
+            value = row[fk.column]
+            if value is None:
+                continue
+            if old_row is not None and old_row[fk.column] == value:
+                continue
+            parent = self.tables[fk.ref_table]
+            if not parent.pk_exists(value):
+                raise MemoryIntegrityError("FOREIGN KEY constraint failed")

@@ -71,3 +71,43 @@ class PoolWebSite:
         self._count("config")
         rows = [[name, self.config.get(name, "(unset)")] for name in names]
         return ascii_table(["policy", "value"], rows, title="Configuration")
+
+    def statistics_page(self) -> str:
+        """Per-table statement statistics from the storage engine.
+
+        The admin-console view of :class:`StatementCounts`: actual row
+        traffic per table and verb (reads are probes, writes are rows
+        really changed), plus the engine-wide dispatch/commit/cache
+        figures the cost model prices.
+        """
+        self._count("statistics")
+        db = self.reports.db
+        counts = db.counts
+        rows = []
+        for table in sorted(counts.tables):
+            verbs = counts.tables[table]
+            rows.append([
+                table,
+                verbs.get("select", 0),
+                verbs.get("insert", 0),
+                verbs.get("update", 0),
+                verbs.get("delete", 0),
+                verbs.get("select", 0) + verbs.get("insert", 0)
+                + verbs.get("update", 0) + verbs.get("delete", 0),
+            ])
+        table_report = ascii_table(
+            ["table", "select", "insert", "update", "delete", "total"],
+            rows, title="Statement Statistics (rows by table)",
+        )
+        engine_rows = [
+            ["backend", db.engine.name],
+            ["statements", counts.statements],
+            ["batches", counts.batches],
+            ["commits", counts.commits],
+            ["row work", counts.total()],
+            ["cache hit rate", f"{db.statement_cache.hit_rate():.3f}"],
+        ]
+        engine_report = ascii_table(
+            ["metric", "value"], engine_rows, title="Storage Engine",
+        )
+        return table_report + "\n\n" + engine_report

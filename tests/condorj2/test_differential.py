@@ -1,0 +1,282 @@
+"""Cross-backend differential fuzzing of the storage engines.
+
+The paper's thesis — cluster state is just data — is falsifiable only if
+the CAS logic is correct against *any* conformant store.  This harness
+makes the claim testable: seeded random workload traces (submission
+batches with random DAG edges, heartbeats, completions, drops, failures,
+scheduling passes, liveness sweeps) are replayed in lockstep against the
+SQLite engine and the dict-backed memory engine, asserting after every
+step that
+
+* the scheduler's match set is identical,
+* the centralized :class:`StatementCounts` are *equal* — same row work,
+  same dispatches, same batches, same commits, same statement-cache
+  hits/misses, same per-table traffic,
+
+and at the end of the trace that the full table state is byte-identical
+(same values, same types, down to SQLite's write-time type affinity and
+rowid assignment).
+"""
+
+import random
+
+import pytest
+
+from repro.cluster import JobSpec
+from repro.condorj2.beans import BeanContainer
+from repro.condorj2.database import Database
+from repro.condorj2.logic import (
+    ConfigService,
+    HeartbeatService,
+    LifecycleService,
+    SchedulingService,
+    SubmissionService,
+)
+from repro.condorj2.schema import TABLES
+
+BACKENDS = ("sqlite", "memory")
+
+#: Number of seeded traces the fuzzer replays (acceptance floor: 50).
+TRACE_COUNT = 50
+#: Operations per trace.
+TRACE_LENGTH = 28
+
+
+class Pool:
+    """One backend's full service stack."""
+
+    def __init__(self, backend):
+        self.backend = backend
+        self.container = BeanContainer(Database(backend=backend))
+        self.db = self.container.db
+        self.submission = SubmissionService(self.container)
+        self.scheduling = SchedulingService(self.container)
+        self.lifecycle = LifecycleService(self.container)
+        self.heartbeat = HeartbeatService(
+            self.container, self.scheduling, self.lifecycle
+        )
+        self.config = ConfigService(self.container)
+
+    def close(self):
+        self.db.close()
+
+
+def dump_tables(db):
+    """Full table state as a canonical, type-sensitive structure."""
+    state = {}
+    for table in TABLES:
+        rows = [
+            tuple(sorted(dict(row).items()))
+            for row in db.query_all(f"SELECT * FROM {table}")  # sql-ident: table
+        ]
+        state[table] = sorted(rows, key=repr)
+    return state
+
+
+def match_set(db):
+    return sorted(
+        (row["job_id"], row["vm_id"])
+        for row in db.query_all("SELECT job_id, vm_id FROM matches")
+    )
+
+
+class TraceRunner:
+    """Generates one op at a time from the observed state of pool A and
+    applies it to every pool identically."""
+
+    def __init__(self, seed, pools):
+        self.rng = random.Random(seed)
+        self.pools = pools
+        self.now = 0.0
+        self.machines = []
+        self.submitted_ids = []
+
+    # -- op helpers -----------------------------------------------------
+    def _observed(self, sql, params=()):
+        """Observation query, issued to *every* pool so the statement
+        accounting stays symmetric; decisions use the first pool's rows."""
+        rows = [pool.db.query_all(sql, params) for pool in self.pools]
+        return rows[0]
+
+    def _tick(self):
+        self.now += self.rng.uniform(0.5, 30.0)
+
+    def op_register_machine(self):
+        name = f"m{len(self.machines):02d}"
+        self.machines.append(name)
+        description = {
+            "name": name,
+            "vm_count": self.rng.randint(1, 4),
+            "cores": self.rng.randint(1, 4),
+            "memory_mb": self.rng.choice([256, 512, 1024]),
+        }
+        for pool in self.pools:
+            pool.heartbeat.register_machine(dict(description), self.now)
+
+    def op_submit_batch(self):
+        specs = []
+        for _ in range(self.rng.randint(1, 6)):
+            spec = JobSpec(
+                owner=f"user{self.rng.randint(0, 3)}",
+                run_seconds=round(self.rng.uniform(5.0, 120.0), 3),
+            )
+            if self.submitted_ids and self.rng.random() < 0.4:
+                parents = self.rng.sample(
+                    self.submitted_ids,
+                    k=min(len(self.submitted_ids), self.rng.randint(1, 3)),
+                )
+                spec.depends_on = tuple(parents)
+            specs.append(spec)
+            self.submitted_ids.append(spec.job_id)
+        for pool in self.pools:
+            pool.submission.submit_jobs(specs, self.now)
+
+    def op_scheduling_pass(self):
+        created = {pool.scheduling.run_pass(self.now) for pool in self.pools}
+        assert len(created) == 1, "engines disagree on matches created"
+
+    def op_heartbeat(self):
+        if not self.machines:
+            return
+        machine = self.rng.choice(self.machines)
+        vms = self._observed(
+            "SELECT vm_id, state FROM vms WHERE machine_name = ?", (machine,)
+        )
+        payload_vms = [
+            {"vm_id": row["vm_id"], "state": row["state"]}
+            for row in vms
+            if self.rng.random() < 0.5
+        ]
+        payload = {"machine": machine, "vms": payload_vms, "events": []}
+        for pool in self.pools:
+            pool.heartbeat.process(dict(payload), self.now)
+
+    def op_accept_matches(self):
+        rows = self._observed("SELECT job_id, vm_id FROM matches")
+        pending = sorted((row["job_id"], row["vm_id"]) for row in rows)
+        if not pending:
+            return
+        chosen = [p for p in pending if self.rng.random() < 0.7]
+        for job_id, vm_id in chosen:
+            for pool in self.pools:
+                pool.lifecycle.accept_match(job_id, vm_id, self.now)
+
+    def op_complete_jobs(self):
+        runs = self._observed("SELECT job_id, vm_id FROM runs")
+        if not runs:
+            return
+        pairs = [
+            (row["job_id"], row["vm_id"])
+            for row in runs
+            if self.rng.random() < 0.6
+        ]
+        if not pairs:
+            return
+        machine = pairs[0][1].split("@", 1)[1]
+        events = [
+            {"kind": "completed", "job_id": job_id, "vm_id": vm_id}
+            for job_id, vm_id in pairs
+        ]
+        payload = {"machine": machine, "vms": [], "events": events}
+        for pool in self.pools:
+            pool.heartbeat.process(dict(payload), self.now)
+
+    def op_drop_job(self):
+        runs = self._observed("SELECT job_id, vm_id FROM runs")
+        if not runs:
+            return
+        row = self.rng.choice(runs)
+        for pool in self.pools:
+            pool.lifecycle.report_drop(
+                row["job_id"], row["vm_id"], self.now, reason="fuzz-drop"
+            )
+
+    def op_remove_job(self):
+        idle = self._observed(
+            "SELECT job_id FROM jobs WHERE state = 'idle'"
+        )
+        if not idle:
+            return
+        job_id = self.rng.choice(idle)["job_id"]
+        for pool in self.pools:
+            pool.submission.remove_job(job_id)
+
+    def op_mark_missing(self):
+        timeout = self.rng.uniform(10.0, 200.0)
+        marked = {
+            pool.heartbeat.mark_missing_machines(self.now, timeout)
+            for pool in self.pools
+        }
+        assert len(marked) == 1, "engines disagree on missing machines"
+
+    def op_config_change(self):
+        name = self.rng.choice(["max_matches_per_pass", "fuzz_knob"])
+        value = str(self.rng.randint(1, 1000))
+        for pool in self.pools:
+            pool.config.set(name, value, self.now, changed_by="fuzzer")
+
+    OPS = (
+        ("register", 1, op_register_machine),
+        ("submit", 3, op_submit_batch),
+        ("pass", 3, op_scheduling_pass),
+        ("heartbeat", 2, op_heartbeat),
+        ("accept", 3, op_accept_matches),
+        ("complete", 3, op_complete_jobs),
+        ("drop", 1, op_drop_job),
+        ("remove", 1, op_remove_job),
+        ("missing", 1, op_mark_missing),
+        ("config", 1, op_config_change),
+    )
+
+    def run(self, steps):
+        # Every trace starts with at least one machine and one batch.
+        self.op_register_machine()
+        self._tick()
+        self.op_submit_batch()
+        names = [name for name, weight, _ in self.OPS for _ in range(weight)]
+        by_name = {name: op for name, _, op in self.OPS}
+        for step in range(steps):
+            self._tick()
+            name = self.rng.choice(names)
+            by_name[name](self)
+            self._assert_step_equivalence(name, step)
+
+    def _assert_step_equivalence(self, name, step):
+        reference = self.pools[0]
+        expected_matches = match_set(reference.db)
+        expected_counts = reference.db.counts
+        for pool in self.pools[1:]:
+            assert match_set(pool.db) == expected_matches, (
+                f"step {step} ({name}): match sets diverge "
+                f"({reference.backend} vs {pool.backend})"
+            )
+            assert pool.db.counts == expected_counts, (
+                f"step {step} ({name}): StatementCounts diverge "
+                f"({reference.backend} vs {pool.backend})"
+            )
+
+
+@pytest.mark.parametrize("seed", range(TRACE_COUNT))
+def test_differential_trace(seed):
+    """Replay one seeded trace against every backend in lockstep."""
+    pools = [Pool(backend) for backend in BACKENDS]
+    try:
+        runner = TraceRunner(seed, pools)
+        runner.run(TRACE_LENGTH)
+        reference = dump_tables(pools[0].db)
+        reference_counts = pools[0].db.counts
+        for pool in pools[1:]:
+            state = dump_tables(pool.db)
+            for table in TABLES:
+                assert repr(state[table]) == repr(reference[table]), (
+                    f"final state of {table} diverges "
+                    f"({pools[0].backend} vs {pool.backend})"
+                )
+            assert pool.db.counts == reference_counts
+    finally:
+        for pool in pools:
+            pool.close()
+
+
+def test_trace_count_meets_acceptance_floor():
+    assert TRACE_COUNT >= 50

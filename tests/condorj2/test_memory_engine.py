@@ -1,0 +1,524 @@
+"""Conformance tests for the dict-backed storage engine.
+
+Three layers of assurance beyond the differential fuzzer:
+
+* backend-parametrized contract tests — the same assertions run against
+  SQLite and the memory engine, so every behaviour here is pinned on
+  both implementations (affinity, rowcounts, lastrowid, constraint
+  errors, transactional rollback, OR IGNORE, cascades, the dialect's
+  harder corners);
+* a property-based test that the memory engine's secondary indexes stay
+  exactly consistent with table contents under interleaved
+  insert/update/delete/rollback;
+* a structural test that the engine-neutral ``TABLE_DEFS`` description
+  agrees with the SQLite DDL, via catalog introspection — the two forms
+  of the schema cannot drift apart silently.
+"""
+
+import sqlite3
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.condorj2.database import Database, DatabaseError
+from repro.condorj2.schema import SCHEMA_STATEMENTS, TABLE_DEFS, TABLES
+from repro.condorj2.storage import (
+    MemoryStorageEngine,
+    SqliteStorageEngine,
+    available_engines,
+    create_engine,
+    default_backend,
+    parse_storage_url,
+    register_engine,
+)
+
+BACKENDS = ("sqlite", "memory")
+
+
+@pytest.fixture(params=BACKENDS)
+def db(request):
+    database = Database(backend=request.param)
+    yield database
+    database.close()
+
+
+def _seed_machine(db, name="m1", vms=2):
+    db.execute("INSERT INTO machines (machine_name) VALUES (?)", (name,))
+    for index in range(vms):
+        db.execute(
+            "INSERT INTO vms (vm_id, machine_name) VALUES (?, ?)",
+            (f"vm{index}@{name}", name),
+        )
+
+
+# ----------------------------------------------------------------------
+# engine registry / selection
+# ----------------------------------------------------------------------
+
+def test_registry_lists_both_backends():
+    assert {"sqlite", "memory"} <= set(available_engines())
+
+
+def test_parse_storage_url_forms():
+    assert parse_storage_url("memory") == ("memory", ":memory:")
+    assert parse_storage_url("memory://") == ("memory", ":memory:")
+    assert parse_storage_url("sqlite::memory:") == ("sqlite", ":memory:")
+    assert parse_storage_url("sqlite:///tmp/pool.db") == ("sqlite", "/tmp/pool.db")
+    assert parse_storage_url(":memory:") == ("sqlite", ":memory:")
+    assert parse_storage_url("/tmp/pool.db") == ("sqlite", "/tmp/pool.db")
+
+
+def test_create_engine_resolves_names_and_urls():
+    assert isinstance(create_engine("memory"), MemoryStorageEngine)
+    assert isinstance(create_engine("sqlite"), SqliteStorageEngine)
+    assert isinstance(create_engine("memory://"), MemoryStorageEngine)
+    with pytest.raises(DatabaseError):
+        create_engine("db2://cas")
+
+
+def test_database_accepts_memory_url_as_path():
+    database = Database(path="memory://")
+    assert database.engine.name == "memory"
+    database.close()
+
+
+def test_environment_selects_default_backend(monkeypatch):
+    monkeypatch.setenv("CONDORJ2_STORAGE_ENGINE", "memory")
+    assert default_backend() == "memory"
+    database = Database()
+    assert database.engine.name == "memory"
+    database.close()
+    monkeypatch.delenv("CONDORJ2_STORAGE_ENGINE")
+    assert default_backend() == "sqlite"
+
+
+def test_register_engine_extends_registry():
+    calls = []
+
+    def factory(path, statement_cache_size=128):
+        calls.append(path)
+        return MemoryStorageEngine(path, statement_cache_size=statement_cache_size)
+
+    register_engine("fuzz-double", factory)
+    try:
+        engine = create_engine("fuzz-double://anything")
+        assert isinstance(engine, MemoryStorageEngine)
+        assert calls == ["anything"]
+    finally:
+        import repro.condorj2.storage as storage
+        storage._ENGINE_REGISTRY.pop("fuzz-double", None)
+
+
+# ----------------------------------------------------------------------
+# backend-parametrized contract
+# ----------------------------------------------------------------------
+
+def test_write_affinity_matches_sqlite(db):
+    """INTEGER into REAL column reads back as float; float into INTEGER
+    column with integral value reads back as int."""
+    db.execute(
+        "INSERT INTO users (user_name, created_at) VALUES ('u', 0)"
+    )
+    row = db.query_one("SELECT * FROM users")
+    assert row["created_at"] == 0.0 and isinstance(row["created_at"], float)
+    db.execute(
+        "INSERT INTO jobs (job_id, owner, cmd, run_seconds, submitted_at,"
+        " image_size_mb) VALUES (1, 'u', '/bin/x', 60, 0, 32.0)"
+    )
+    job = db.query_one("SELECT * FROM jobs")
+    assert job["image_size_mb"] == 32 and isinstance(job["image_size_mb"], int)
+    assert isinstance(job["run_seconds"], float)
+
+
+def test_update_rowcount_counts_matched_rows(db):
+    _seed_machine(db, vms=3)
+    cursor = db.execute("UPDATE vms SET state = 'idle'")  # no-op values
+    assert cursor.rowcount == 3
+    cursor = db.execute(
+        "UPDATE vms SET state = 'busy' WHERE vm_id = 'vm0@m1'"
+    )
+    assert cursor.rowcount == 1
+    cursor = db.execute(
+        "UPDATE vms SET state = 'busy' WHERE vm_id = 'nope'"
+    )
+    assert cursor.rowcount == 0
+
+
+def test_insert_or_ignore_rowcount_and_lastrowid(db):
+    cursor = db.execute(
+        "INSERT OR IGNORE INTO users (user_name, created_at) VALUES ('a', 0)"
+    )
+    assert cursor.rowcount == 1
+    cursor = db.execute(
+        "INSERT OR IGNORE INTO users (user_name, created_at) VALUES ('a', 9)"
+    )
+    assert cursor.rowcount == 0
+    assert db.scalar("SELECT created_at FROM users") == 0.0
+
+
+def test_autoincrement_keys_are_never_reused(db):
+    db.execute("INSERT INTO users (user_name, created_at) VALUES ('u', 0)")
+    _seed_machine(db)
+    db.execute(
+        "INSERT INTO jobs (job_id, owner, cmd, run_seconds, submitted_at)"
+        " VALUES (1, 'u', '/bin/x', 60, 0)"
+    )
+    first = db.execute(
+        "INSERT INTO matches (job_id, vm_id, created_at)"
+        " VALUES (1, 'vm0@m1', 0)"
+    ).lastrowid
+    db.execute("DELETE FROM matches WHERE match_id = ?", (first,))
+    second = db.execute(
+        "INSERT INTO matches (job_id, vm_id, created_at)"
+        " VALUES (1, 'vm0@m1', 1)"
+    ).lastrowid
+    assert second == first + 1  # AUTOINCREMENT: no reuse after delete
+
+
+def test_plain_integer_pk_assigns_max_plus_one(db):
+    db.execute("INSERT INTO users (user_name, created_at) VALUES ('u', 0)")
+    db.execute(
+        "INSERT INTO workflows (workflow_id, owner, submitted_at)"
+        " VALUES (7, 'u', 0)"
+    )
+    assigned = db.execute(
+        "INSERT INTO workflows (owner, submitted_at) VALUES ('u', 1)"
+    ).lastrowid
+    assert assigned == 8
+
+
+def test_constraint_errors_are_database_errors(db):
+    db.execute("INSERT INTO users (user_name, created_at) VALUES ('u', 0)")
+    with pytest.raises(DatabaseError):  # PK duplicate
+        db.execute("INSERT INTO users (user_name, created_at) VALUES ('u', 0)")
+    with pytest.raises(DatabaseError):  # CHECK violation
+        db.execute(
+            "INSERT INTO jobs (job_id, owner, cmd, state, run_seconds,"
+            " submitted_at) VALUES (1, 'u', '/bin/x', 'bogus', 60, 0)"
+        )
+    with pytest.raises(DatabaseError):  # FK violation
+        db.execute(
+            "INSERT INTO jobs (job_id, owner, cmd, run_seconds, submitted_at)"
+            " VALUES (1, 'ghost', '/bin/x', 60, 0)"
+        )
+    with pytest.raises(DatabaseError):  # NOT NULL violation
+        db.execute("INSERT INTO users (user_name) VALUES ('v')")
+
+
+def test_restrict_fk_blocks_parent_delete(db):
+    db.execute("INSERT INTO users (user_name, created_at) VALUES ('u', 0)")
+    db.execute(
+        "INSERT INTO jobs (job_id, owner, cmd, run_seconds, submitted_at)"
+        " VALUES (1, 'u', '/bin/x', 60, 0)"
+    )
+    with pytest.raises(DatabaseError):
+        db.execute("DELETE FROM users WHERE user_name = 'u'")
+
+
+def test_cascade_delete_is_not_counted_in_rowcount(db):
+    db.execute("INSERT INTO users (user_name, created_at) VALUES ('u', 0)")
+    for job_id in (1, 2):
+        db.execute(
+            "INSERT INTO jobs (job_id, owner, cmd, run_seconds, submitted_at)"
+            f" VALUES ({job_id}, 'u', '/bin/x', 60, 0)"  # sql-ident: int literal
+        )
+    db.execute(
+        "INSERT INTO job_dependencies (job_id, depends_on_job_id) VALUES (2, 1)"
+    )
+    cursor = db.execute("DELETE FROM jobs WHERE job_id = 2")
+    assert cursor.rowcount == 1  # the cascaded edge is not counted
+    assert db.table_count("job_dependencies") == 0
+
+
+def test_transaction_rollback_restores_indexes_and_rows(db):
+    _seed_machine(db, vms=2)
+    with pytest.raises(RuntimeError):
+        with db.transaction():
+            db.execute("UPDATE vms SET state = 'busy' WHERE vm_id = 'vm0@m1'")
+            db.execute("DELETE FROM vms WHERE vm_id = 'vm1@m1'")
+            db.execute(
+                "INSERT INTO vms (vm_id, machine_name) VALUES ('vm9@m1', 'm1')"
+            )
+            raise RuntimeError("abort")
+    rows = {r["vm_id"]: r["state"] for r in db.query_all("SELECT * FROM vms")}
+    assert rows == {"vm0@m1": "idle", "vm1@m1": "idle"}
+    # the indexes survived the rollback: probes still work
+    assert db.scalar(
+        "SELECT COUNT(*) FROM vms WHERE machine_name = 'm1'"
+    ) == 2
+    assert db.scalar("SELECT COUNT(*) FROM vms WHERE state = 'idle'") == 2
+
+
+def test_json_each_membership(db):
+    db.execute("INSERT INTO users (user_name, created_at) VALUES ('u', 0)")
+    for job_id in (1, 2, 3):
+        db.execute(
+            "INSERT INTO jobs (job_id, owner, cmd, run_seconds, submitted_at)"
+            " VALUES (?, 'u', '/bin/x', 60, 0)", (job_id,)
+        )
+    rows = db.query_all(
+        "SELECT job_id FROM jobs"
+        " WHERE job_id IN (SELECT value FROM json_each(?))"
+        " ORDER BY job_id",
+        ("[1, 3]",),
+    )
+    assert [r["job_id"] for r in rows] == [1, 3]
+
+
+def test_like_concat_and_aggregates(db):
+    db.execute("INSERT INTO users (user_name, created_at) VALUES ('u', 0)")
+    db.execute(
+        "INSERT INTO provenance (output_name, job_id, executable,"
+        " input_names, recorded_at) VALUES ('out', 1, '/bin/x', 'a,b', 0)"
+    )
+    rows = db.query_all(
+        "SELECT output_name FROM provenance"
+        " WHERE ',' || input_names || ',' LIKE ?",
+        ("%,b,%",),
+    )
+    assert [r["output_name"] for r in rows] == ["out"]
+    assert db.scalar("SELECT SUM(job_id) FROM provenance") == 1
+    assert db.scalar("SELECT SUM(job_id) FROM provenance WHERE job_id > 9") is None
+    assert db.scalar("SELECT COUNT(*) FROM provenance WHERE job_id > 9") == 0
+
+
+def test_case_when_and_integer_division(db):
+    db.execute("INSERT INTO users (user_name, created_at) VALUES ('u', 0)")
+    db.execute(
+        "INSERT INTO job_history (job_id, owner, cmd, run_seconds,"
+        " submitted_at, final_state, completed_at)"
+        " VALUES (1, 'u', '/bin/x', 60, 0, 'completed', 130.0)"
+    )
+    row = db.query_one(
+        "SELECT CAST(completed_at / 60 AS INTEGER) AS minute,"
+        "       SUM(CASE WHEN final_state = 'completed' THEN 1 ELSE 0 END)"
+        "       AS done"
+        " FROM job_history GROUP BY minute"
+    )
+    assert row["minute"] == 2
+    assert row["done"] == 1
+
+
+def test_limit_zero_returns_no_rows(db):
+    db.execute("INSERT INTO users (user_name, created_at) VALUES ('u', 0)")
+    assert db.query_all("SELECT user_name FROM users LIMIT 0") == []
+    assert db.query_all("SELECT user_name FROM users LIMIT ?", (0,)) == []
+    assert len(db.query_all(
+        "SELECT user_name FROM users ORDER BY user_name LIMIT 0")) == 0
+
+
+def test_three_valued_logic_yields_sqlite_integers(db):
+    """FALSE AND NULL is 0 (not NULL), TRUE OR NULL is 1, and projected
+    boolean results are integers on both backends."""
+    assert db.scalar("SELECT 0 AND NULL") == 0
+    assert db.scalar("SELECT NULL AND 0") == 0
+    assert db.scalar("SELECT 1 AND NULL") is None
+    assert db.scalar("SELECT 1 OR NULL") == 1
+    assert db.scalar("SELECT NULL OR 0") is None
+    value = db.scalar("SELECT 1 AND 1")
+    assert value == 1 and isinstance(value, int) and repr(value) == "1"
+    eq = db.scalar("SELECT 2 = 2")
+    assert repr(eq) == "1"
+
+
+def test_order_by_desc_limit_and_distinct(db):
+    db.execute("INSERT INTO users (user_name, created_at) VALUES ('u', 0)")
+    for job_id, exe in ((1, "/bin/a"), (2, "/bin/b"), (3, "/bin/a")):
+        db.execute(
+            "INSERT INTO provenance (output_name, job_id, executable,"
+            " recorded_at) VALUES (?, ?, ?, 0)",
+            (f"out{job_id}", job_id, exe),
+        )
+    top = db.query_one(
+        "SELECT * FROM provenance ORDER BY prov_id DESC LIMIT 1"
+    )
+    assert top["output_name"] == "out3"
+    distinct = db.query_all(
+        "SELECT DISTINCT executable FROM provenance ORDER BY executable"
+    )
+    assert [r["executable"] for r in distinct] == ["/bin/a", "/bin/b"]
+
+
+def test_like_is_ascii_folded_and_crosses_newlines(db):
+    """SQLite's LIKE folds only ASCII case; '_'/'%' match newlines."""
+    db.execute(
+        "INSERT INTO provenance (output_name, job_id, executable,"
+        " input_names, recorded_at) VALUES ('o1', 1, '/x', 'Ärger', 0)"
+    )
+    db.execute(
+        "INSERT INTO provenance (output_name, job_id, executable,"
+        " input_names, recorded_at) VALUES ('o2', 2, '/x', 'in' || ? || 'a', 0)",
+        ("\n",),
+    )
+    assert db.query_all(
+        "SELECT output_name FROM provenance WHERE input_names LIKE ?",
+        ("ärger",),
+    ) == []  # no Unicode folding
+    hits = db.query_all(
+        "SELECT output_name FROM provenance"
+        " WHERE ',' || input_names || ',' LIKE ?",
+        ("%,in_a,%",),
+    )
+    assert [row["output_name"] for row in hits] == ["o2"]
+
+
+def test_integer_division_is_exact_beyond_float_precision(db):
+    big = 36028797018963969  # 2**55 + 1: float round-trips lose the +1
+    assert db.scalar("SELECT CAST(? AS INTEGER) / 3", (big,)) == big // 3
+    assert db.scalar("SELECT CAST(? AS INTEGER) % 7", (big,)) == big % 7
+    assert db.scalar("SELECT -7 / 2") == -3  # truncation, not floor
+    assert db.scalar("SELECT -7 % 2") == -1
+
+
+def test_comparison_affinity_coerces_text_parameters(db):
+    """A text parameter compared to a numeric-affinity column converts
+    to a number, on equality, IN membership and range predicates."""
+    db.execute("INSERT INTO users (user_name, created_at) VALUES ('u', 0)")
+    db.execute(
+        "INSERT INTO workflows (workflow_id, owner, submitted_at)"
+        " VALUES (5, 'u', 0)"
+    )
+    assert db.scalar(
+        "SELECT workflow_id FROM workflows WHERE workflow_id = ?", ("5",)
+    ) == 5
+    assert db.scalar(
+        "SELECT workflow_id FROM workflows WHERE workflow_id IN (?, ?)",
+        ("5", "9"),
+    ) == 5
+    assert db.scalar(
+        "SELECT workflow_id FROM workflows WHERE workflow_id > ?", ("4",)
+    ) == 5
+
+
+# ----------------------------------------------------------------------
+# memory-engine index maintenance under interleaved mutation
+# ----------------------------------------------------------------------
+
+_op_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "update", "delete", "txn-abort"]),
+        st.integers(0, 11),
+        st.sampled_from(["idle", "busy", "claiming", "offline"]),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(_op_strategy)
+def test_memory_indexes_consistent_under_interleaving(ops):
+    """After any interleaving of insert/update/delete (and aborted
+    transactions), every equality index and unique map equals what a
+    from-scratch rebuild over the rows produces."""
+    engine = MemoryStorageEngine()
+    database = Database(engine=engine)
+    database.execute("INSERT INTO machines (machine_name) VALUES ('m')")
+    live = set()
+    for action, slot, state in ops:
+        vm_id = f"vm{slot}@m"
+        if action == "insert":
+            if vm_id not in live:
+                database.execute(
+                    "INSERT INTO vms (vm_id, machine_name, state)"
+                    " VALUES (?, 'm', ?)", (vm_id, state)
+                )
+                live.add(vm_id)
+        elif action == "update":
+            database.execute(
+                "UPDATE vms SET state = ? WHERE vm_id = ?", (state, vm_id)
+            )
+        elif action == "delete":
+            database.execute("DELETE FROM vms WHERE vm_id = ?", (vm_id,))
+            live.discard(vm_id)
+        else:  # txn-abort: mutate inside a rolled-back transaction
+            try:
+                with database.transaction():
+                    database.execute(
+                        "UPDATE vms SET state = ? WHERE vm_id = ?",
+                        (state, vm_id),
+                    )
+                    database.execute(
+                        "DELETE FROM vms WHERE machine_name = 'm'"
+                    )
+                    raise RuntimeError("abort")
+            except RuntimeError:
+                pass
+        _assert_indexes_consistent(engine.tables["vms"])
+    assert {row["vm_id"] for row in database.query_all("SELECT * FROM vms")} \
+        == live
+
+
+def _assert_indexes_consistent(table):
+    for column, index in table.eq_indexes.items():
+        rebuilt = {}
+        for key, row in table.rows.items():
+            rebuilt.setdefault(row[column], set()).add(key)
+        assert index == rebuilt, f"index on {table.name}.{column} diverged"
+    for cols, mapping in table.unique_maps.items():
+        rebuilt = {}
+        for key, row in table.rows.items():
+            values = tuple(row[c] for c in cols)
+            if any(v is None for v in values):
+                continue
+            assert values not in rebuilt, "duplicate slipped past UNIQUE"
+            rebuilt[values] = key
+        assert mapping == rebuilt, f"unique map on {cols} diverged"
+    assert sorted(table.rows) == table.scan_keys()
+
+
+# ----------------------------------------------------------------------
+# the neutral schema description matches the SQLite DDL
+# ----------------------------------------------------------------------
+
+def test_table_defs_cover_all_tables():
+    assert [tdef.name for tdef in TABLE_DEFS] == TABLES
+
+
+def test_table_defs_agree_with_sqlite_catalog():
+    conn = sqlite3.connect(":memory:")
+    conn.row_factory = sqlite3.Row
+    for statement in SCHEMA_STATEMENTS:
+        conn.execute(statement)
+    for tdef in TABLE_DEFS:
+        info = conn.execute(f"PRAGMA table_info({tdef.name})").fetchall()
+        declared = {row["name"]: row for row in info}
+        assert list(declared) == [c.name for c in tdef.columns], tdef.name
+        pk_cols = [row["name"] for row in
+                   sorted(info, key=lambda r: r["pk"]) if row["pk"]]
+        assert pk_cols == list(tdef.primary_key), tdef.name
+        for col in tdef.columns:
+            catalog = declared[col.name]
+            catalog_type = catalog["type"].upper()
+            assert col.affinity in catalog_type, (tdef.name, col.name)
+            implicit_pk_not_null = (
+                col.name in tdef.primary_key and not tdef.rowid
+            )
+            assert bool(catalog["notnull"]) or implicit_pk_not_null \
+                == (col.not_null or implicit_pk_not_null), (tdef.name, col.name)
+            if col.has_default and col.default is not None:
+                assert catalog["dflt_value"] is not None, (tdef.name, col.name)
+        fks = conn.execute(
+            f"PRAGMA foreign_key_list({tdef.name})"
+        ).fetchall()
+        catalog_fks = {
+            (row["from"], row["table"], row["to"] or "?"):
+                row["on_delete"].lower()
+            for row in fks
+        }
+        for fk in tdef.foreign_keys:
+            match = [
+                action for (frm, tbl, _to), action in catalog_fks.items()
+                if frm == fk.column and tbl == fk.ref_table
+            ]
+            assert match, (tdef.name, fk.column)
+            expected = "cascade" if fk.on_delete == "cascade" else "no action"
+            assert match[0] == expected, (tdef.name, fk.column)
+        assert len(catalog_fks) == len(tdef.foreign_keys), tdef.name
+        autoinc = conn.execute(
+            "SELECT COUNT(*) FROM sqlite_master WHERE name = ?"
+            " AND sql LIKE '%AUTOINCREMENT%'", (tdef.name,)
+        ).fetchone()[0]
+        assert bool(autoinc) == tdef.autoincrement, tdef.name
+    conn.close()

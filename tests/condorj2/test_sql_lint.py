@@ -38,6 +38,15 @@ ALLOWED_EXPRESSIONS = {
     "table",
 }
 
+#: Per-file exemptions, for expressions too generic to allow globally.
+#: The SQL parser's error messages quote the *rejected* statement and
+#: the offending token — text that is never executed as SQL.
+ALLOWED_EXPRESSIONS_BY_FILE = {
+    "condorj2/storage/sqlparser.py": {
+        "self.sql", "self.peek().value", "token.value",
+    },
+}
+
 
 def _sql_fstrings(tree):
     for node in ast.walk(tree):
@@ -55,13 +64,17 @@ def _sql_fstrings(tree):
 def _violations(root):
     found = []
     for path in sorted(root.rglob("*.py")):
+        relative = path.relative_to(root).as_posix()
+        allowed = ALLOWED_EXPRESSIONS | ALLOWED_EXPRESSIONS_BY_FILE.get(
+            relative, set()
+        )
         tree = ast.parse(path.read_text(), filename=str(path))
         for node in _sql_fstrings(tree):
             for part in node.values:
                 if not isinstance(part, ast.FormattedValue):
                     continue
                 expression = ast.unparse(part.value)
-                if expression not in ALLOWED_EXPRESSIONS:
+                if expression not in allowed:
                     found.append(
                         f"{path.relative_to(root.parent)}:{node.lineno}: "
                         f"{{{expression}}} interpolated into SQL"
