@@ -72,6 +72,12 @@ def main() -> None:
     print(f"\nmissing-machine sweep marked {marked} machine(s) missing")
     print(system.cas.site.pool_page())
 
+    # 5. Per-operation web-service statistics: the gateway meter shows
+    # calls, fault rates and latency for every contract-dispatched op
+    # (acceptMatch/beginExecute arrive in multiplexed batch envelopes).
+    print()
+    print(system.cas.site.statistics_page())
+
 
 if __name__ == "__main__":
     main()

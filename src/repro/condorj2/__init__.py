@@ -10,6 +10,9 @@ Layers (Figure 4 of the paper):
   container-managed persistence).
 * :mod:`repro.condorj2.logic` — the application-logic layer
   (coarse-grained services).
+* :mod:`repro.condorj2.api` — the service contracts: typed, versioned
+  operation specs, the structured fault taxonomy and the dispatch
+  gateway (validate -> meter -> handler -> validate response).
 * :mod:`repro.condorj2.web` — the external interfaces (SOAP web services
   and the pool web site).
 * :mod:`repro.condorj2.cas` — the application server tying it together.
@@ -17,6 +20,12 @@ Layers (Figure 4 of the paper):
 * :mod:`repro.condorj2.system` — a fully wired pool for experiments.
 """
 
+from repro.condorj2.api import (
+    ContractRegistry,
+    OperationContract,
+    ServiceFault,
+    ServiceGateway,
+)
 from repro.condorj2.cas import CondorJ2ApplicationServer
 from repro.condorj2.costs import CasCostModel
 from repro.condorj2.database import ConnectionPool, Database, DatabaseError
@@ -35,9 +44,13 @@ __all__ = [
     "CondorJ2Startd",
     "CondorJ2System",
     "ConnectionPool",
+    "ContractRegistry",
     "Database",
     "DatabaseError",
+    "OperationContract",
     "PreparedStatementCache",
+    "ServiceFault",
+    "ServiceGateway",
     "SqliteStorageEngine",
     "StartdConfig",
     "StatementCounts",

@@ -1,0 +1,315 @@
+"""The service gateway: a middleware pipeline over the contract registry.
+
+Dispatch used to be one dict lookup handing raw payloads to handlers;
+it is now the pipeline the paper's container stack implies::
+
+    decode -> validate request -> meter -> handler -> validate response -> encode
+
+The envelope codec (decode/encode) stays at the transport boundary in
+``web/soap.py``; everything between lives here, as composable middleware
+over :class:`~repro.condorj2.api.contracts.ContractRegistry`:
+
+* **validate** — the request payload is checked against the operation's
+  request schema (defaults applied), and batch membership is checked
+  against the contract's ``batchable`` flag;
+* **meter** — per-operation call/fault/latency statistics, per-fault-code
+  tallies, and the per-op share of the storage engine's statement ledger;
+* **translate** — storage/bean exceptions become the structured fault
+  taxonomy (``CONFLICT`` for missing tuples and illegal transitions,
+  ``INTERNAL`` for engine failures, ``VALIDATION`` for bad values);
+* **validate response** — a handler reply that fails its own response
+  schema is a *server* bug and surfaces as ``INTERNAL/response-validation``,
+  never as a silently malformed reply.
+
+The gateway also executes the multiplexed **batch envelope**: N
+independent operations in one transport round-trip, each validated and
+dispatched separately, with per-op results and faults (one op failing
+does not poison its siblings — every handler runs in its own
+transaction).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.condorj2.api.contracts import ContractRegistry, OperationContract
+from repro.condorj2.api.faults import (
+    ConflictFault,
+    InternalFault,
+    ServiceFault,
+    UnknownOperationFault,
+    ValidationFault,
+)
+from repro.condorj2.beans.base import BeanNotFound, BeanStateError
+from repro.condorj2.storage import DatabaseError
+
+#: Pseudo-operations under which protocol-level faults are metered (the
+#: request never resolved to a real operation, but the stats page still
+#: has to show it happened).
+MALFORMED_OP = "(malformed)"
+UNKNOWN_OP = "(unknown)"
+
+
+@dataclass
+class OperationStats:
+    """Meter readings for one operation (or protocol pseudo-op)."""
+
+    #: Dispatch attempts: every envelope that named this operation,
+    #: whether or not it survived validation.  The fault-rate denominator.
+    attempts: int = 0
+    #: Validated dispatches that reached the handler.
+    calls: int = 0
+    faults: int = 0
+    fault_codes: Dict[str, int] = field(default_factory=dict)
+    #: Wall-clock seconds spent inside the handler (real time: the
+    #: Python cost of the HTTP-to-SQL transformation itself).
+    handler_seconds: float = 0.0
+    max_handler_seconds: float = 0.0
+    #: Simulated seconds charged to the server host for this operation's
+    #: dispatches (validation overhead + SQL CPU + commit IO).
+    sim_seconds: float = 0.0
+    #: Storage-engine work attributed to this operation.
+    statements: int = 0
+    row_work: int = 0
+
+    @property
+    def fault_rate(self) -> float:
+        return self.faults / self.attempts if self.attempts else 0.0
+
+    @property
+    def mean_handler_seconds(self) -> float:
+        return self.handler_seconds / self.calls if self.calls else 0.0
+
+
+@dataclass
+class Invocation:
+    """One operation dispatch travelling down the pipeline."""
+
+    operation: str
+    contract: OperationContract
+    payload: Any
+    now: float
+    in_batch: bool = False
+
+
+@dataclass
+class BatchItem:
+    """Per-op outcome of a batch envelope: a result or a fault."""
+
+    operation: str
+    result: Any = None
+    fault: Optional[ServiceFault] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.fault is None
+
+
+#: A middleware takes the invocation and the next stage; the innermost
+#: stage is the bound handler itself.
+Stage = Callable[[Invocation], Any]
+Middleware = Callable[[Invocation, Stage], Any]
+
+
+class ServiceGateway:
+    """Validated, metered dispatch over the contract registry."""
+
+    def __init__(
+        self,
+        registry: ContractRegistry,
+        counts=None,
+        costs=None,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        self.registry = registry
+        #: The storage engine's :class:`StatementCounts`, when metering
+        #: should attribute statement work per operation.
+        self.counts = counts
+        #: The :class:`CasCostModel`, when metering should convert that
+        #: work into simulated seconds.
+        self.costs = costs
+        self.clock = clock
+        self.stats: Dict[str, OperationStats] = {}
+        #: The pipeline between decode and encode, outermost first.
+        self.middleware: List[Middleware] = [
+            self._validate_request,
+            self._meter,
+            self._translate_errors,
+        ]
+        # Composed once: dispatch is the hottest server path, and the
+        # chain only changes if `middleware` is edited (call
+        # `rebuild_pipeline` after doing so).
+        self._pipeline = self._compose()
+
+    def _compose(self) -> Stage:
+        stage: Stage = self._call_handler
+        for middleware in reversed(self.middleware):
+            stage = _bind(middleware, stage)
+        return stage
+
+    def rebuild_pipeline(self) -> None:
+        """Recompose the stage chain after editing ``middleware``."""
+        self._pipeline = self._compose()
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def dispatch(self, operation: str, payload: Any, now: float,
+                 in_batch: bool = False) -> Any:
+        """Run one operation through the full pipeline.
+
+        Returns the (response-validated) reply payload; raises a
+        :class:`ServiceFault` subclass on any failure.
+        """
+        try:
+            contract = self.registry.contract(operation)
+        except UnknownOperationFault:
+            self._record_fault(UNKNOWN_OP, UnknownOperationFault.code)
+            raise
+        invocation = Invocation(operation, contract, payload, now, in_batch)
+        return self._pipeline(invocation)
+
+    def dispatch_batch(self, calls: Sequence[Tuple[str, Any]],
+                       now: float, in_batch: bool = True) -> List[BatchItem]:
+        """Execute a multiplexed batch: per-op results and faults.
+
+        Operations run in envelope order; a fault in one op is captured
+        in its :class:`BatchItem` and the rest still run.  ``in_batch``
+        is False when the caller is reusing this per-op machinery for a
+        single-op envelope (batchability is then not enforced).
+        """
+        items: List[BatchItem] = []
+        for operation, payload in calls:
+            try:
+                result = self.dispatch(operation, payload, now,
+                                       in_batch=in_batch)
+                items.append(BatchItem(operation, result=result))
+            except ServiceFault as fault:
+                items.append(BatchItem(operation, fault=fault))
+        return items
+
+    # ------------------------------------------------------------------
+    # pipeline stages
+    # ------------------------------------------------------------------
+    def _validate_request(self, invocation: Invocation, nxt: Stage) -> Any:
+        contract = invocation.contract
+        if invocation.in_batch and not contract.batchable:
+            self._record_fault(invocation.operation, ValidationFault.code)
+            raise ValidationFault(
+                f"{invocation.operation} may not ride a batch envelope",
+                subcode="not-batchable", operation=invocation.operation,
+            )
+        try:
+            invocation.payload = contract.request.validate(
+                invocation.payload, operation=invocation.operation
+            )
+        except ValidationFault:
+            self._record_fault(invocation.operation, ValidationFault.code)
+            raise
+        return nxt(invocation)
+
+    def _meter(self, invocation: Invocation, nxt: Stage) -> Any:
+        stats = self._stats_for(invocation.operation)
+        stats.attempts += 1
+        stats.calls += 1
+        snapshot = self.counts.snapshot() if self.counts is not None else None
+        started = self.clock()
+        try:
+            return nxt(invocation)
+        except ServiceFault as fault:
+            stats.faults += 1
+            stats.fault_codes[fault.code] = (
+                stats.fault_codes.get(fault.code, 0) + 1
+            )
+            raise
+        finally:
+            elapsed = self.clock() - started
+            stats.handler_seconds += elapsed
+            stats.max_handler_seconds = max(stats.max_handler_seconds,
+                                            elapsed)
+            if snapshot is not None:
+                delta = self.counts.delta(snapshot)
+                stats.statements += delta.statements
+                stats.row_work += delta.total()
+                if self.costs is not None:
+                    stats.sim_seconds += (
+                        self.costs.contract_validate_seconds
+                        + self.costs.sql_cost_seconds(delta)
+                        + self.costs.io_cost_seconds(delta)
+                    )
+
+    def _translate_errors(self, invocation: Invocation, nxt: Stage) -> Any:
+        try:
+            return nxt(invocation)
+        except ServiceFault:
+            raise
+        except BeanNotFound as exc:
+            raise ConflictFault(str(exc), subcode="not-found",
+                                operation=invocation.operation) from exc
+        except BeanStateError as exc:
+            raise ConflictFault(str(exc), subcode="illegal-state",
+                                operation=invocation.operation) from exc
+        except ValueError as exc:
+            raise ValidationFault(str(exc), subcode="bad-value",
+                                  operation=invocation.operation) from exc
+        except DatabaseError as exc:
+            raise InternalFault(str(exc), subcode="server-error",
+                                operation=invocation.operation) from exc
+
+    def _call_handler(self, invocation: Invocation) -> Any:
+        handler = self.registry.handler(invocation.operation)
+        result = handler(invocation.payload, invocation.now)
+        try:
+            return invocation.contract.response.validate(
+                result, operation=invocation.operation
+            )
+        except ValidationFault as exc:
+            raise InternalFault(
+                f"{invocation.operation} response failed its schema: "
+                f"{exc.detail}",
+                subcode="response-validation",
+                operation=invocation.operation,
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # metering interface
+    # ------------------------------------------------------------------
+    def _stats_for(self, operation: str) -> OperationStats:
+        stats = self.stats.get(operation)
+        if stats is None:
+            stats = self.stats[operation] = OperationStats()
+        return stats
+
+    def _record_fault(self, operation: str, code: str) -> None:
+        """Meter a fault raised before the handler was ever reached
+        (validation, unknown op, malformed envelope) — it counts as an
+        attempt but not as a call."""
+        stats = self._stats_for(operation)
+        stats.attempts += 1
+        stats.faults += 1
+        stats.fault_codes[code] = stats.fault_codes.get(code, 0) + 1
+
+    def record_malformed(self, fault: ServiceFault) -> None:
+        """Meter an envelope that never resolved to an operation."""
+        self._record_fault(MALFORMED_OP, fault.code)
+
+    def record_sim_charge(self, operation: str, seconds: float) -> None:
+        """Attribute additional simulated seconds (transport share) to
+        ``operation`` — the application server calls this after charging
+        its host."""
+        if seconds > 0:
+            self._stats_for(operation).sim_seconds += seconds
+
+    def call_counts(self) -> Dict[str, int]:
+        """Operation -> successful-dispatch-attempt count (legacy view)."""
+        return {
+            operation: stats.calls
+            for operation, stats in self.stats.items()
+            if stats.calls
+        }
+
+
+def _bind(middleware: Middleware, nxt: Stage) -> Stage:
+    return lambda invocation: middleware(invocation, nxt)

@@ -21,11 +21,13 @@ initial spike.
 
 from __future__ import annotations
 
-from typing import Any, Generator, Optional
+from typing import Generator, Optional
 
+from repro.condorj2.api.faults import ServiceFault, UnknownOperationFault
+from repro.condorj2.api.gateway import MALFORMED_OP, UNKNOWN_OP
 from repro.condorj2.beans import BeanContainer
 from repro.condorj2.costs import CasCostModel
-from repro.condorj2.database import Database, DatabaseError
+from repro.condorj2.database import Database
 from repro.condorj2.logic import (
     ConfigService,
     HeartbeatService,
@@ -37,8 +39,8 @@ from repro.condorj2.logic import (
 from repro.condorj2.web.services import WebServiceRegistry
 from repro.condorj2.web.site import PoolWebSite
 from repro.condorj2.web.soap import (
-    SoapFault,
-    decode_request,
+    decode_envelope,
+    encode_batch_response,
     encode_response,
     envelope_size,
 )
@@ -100,8 +102,11 @@ class CondorJ2ApplicationServer:
             self.lifecycle,
             self.reports,
             self.config,
+            costs=self.costs,
         )
-        self.site = PoolWebSite(self.reports, self.config)
+        self.gateway = self.registry.gateway
+        self.site = PoolWebSite(self.reports, self.config,
+                                gateway=self.gateway)
 
         self.requests_handled = 0
         self.faults_returned = 0
@@ -176,7 +181,14 @@ class CondorJ2ApplicationServer:
         self.log.record(self.sim.now, "unexpected_oneway", kind=message.kind)
 
     def handle_request(self, message: Message) -> Generator:
-        """Serve one SOAP request end to end (HTTP -> SQL -> HTTP)."""
+        """Serve one SOAP envelope end to end (HTTP -> SQL -> HTTP).
+
+        The envelope may be a single operation or a multiplexed batch;
+        either way the cost model charges **one transport** (parse by
+        envelope size, one kernel share, one response encode) plus **N
+        validated dispatches** (per-op contract validation and the SQL
+        the handlers actually executed).
+        """
         envelope: str = message.payload
         size = envelope_size(envelope)
         yield Acquire(self.threads)
@@ -186,20 +198,29 @@ class CondorJ2ApplicationServer:
                 self.costs.system_seconds_per_call * self.host.speed
             )
             try:
-                operation, payload = decode_request(envelope)
-            except SoapFault as fault:
+                is_batch, calls = decode_envelope(envelope)
+            except ServiceFault as fault:
+                # The malformed envelope consumed real parse CPU above;
+                # meter it and answer with the typed fault.
+                self.gateway.record_malformed(fault)
                 self.faults_returned += 1
-                return encode_response("", None, fault=str(fault))
+                yield self.host.occupy(self.costs.response_encode_seconds,
+                                       TAG_USER)
+                # ...and attribute that parse + encode CPU to the
+                # "(malformed)" pseudo-op so per-op sim seconds keep
+                # reconciling with the total host charge.
+                self.gateway.record_sim_charge(
+                    MALFORMED_OP,
+                    self.costs.parse_cost_seconds(size)
+                    + self.costs.response_encode_seconds,
+                )
+                return encode_response("", None, fault=fault)
 
             yield Acquire(self.connections)
             try:
                 before = self.db.counts.snapshot()
-                fault_text = ""
-                result: Any = None
-                try:
-                    result = self.registry.dispatch(operation, payload, self.sim.now)
-                except (SoapFault, DatabaseError, ValueError) as exc:
-                    fault_text = f"{type(exc).__name__}: {exc}"
+                items = self.gateway.dispatch_batch(calls, self.sim.now,
+                                                    in_batch=is_batch)
                 delta = self.db.counts.delta(before)
             finally:
                 self.connections.release()
@@ -207,23 +228,49 @@ class CondorJ2ApplicationServer:
             if delta.total() > 0:
                 # The JDBC hop is in-process but it is a Table 2 channel:
                 # "CAS inserts a job tuple into database".
+                ops = ",".join(operation for operation, _ in calls)
                 self.network.record_local(
                     "cas", "database", "sql",
-                    description=f"{operation}: {delta.statements} statements",
+                    description=f"{ops}: {delta.statements} statements",
                 )
-            sql_cpu = self.costs.sql_cost_seconds(delta)
+            sql_cpu = (
+                self.costs.sql_cost_seconds(delta)
+                + self.costs.contract_validate_seconds * len(calls)
+            )
             if sql_cpu > 0:
                 yield self.host.occupy(sql_cpu, TAG_USER)
             io = self.costs.io_cost_seconds(delta)
             if io > 0:
                 yield self.host.disk_io(io)
             yield self.host.occupy(self.costs.response_encode_seconds, TAG_USER)
+            # Attribute the shared transport cost across the envelope's
+            # operations so the per-op meter reflects true server load.
+            transport = (
+                self.costs.parse_cost_seconds(size)
+                + self.costs.response_encode_seconds
+            ) / len(calls)
+            for item in items:
+                # Unresolved names are charged to the "(unknown)"
+                # pseudo-op the fault meter used — never to arbitrary
+                # client-supplied strings (which would grow the stats
+                # table unboundedly with orphan rows).
+                target = item.operation
+                if (item.fault is not None
+                        and item.fault.code == UnknownOperationFault.code):
+                    target = UNKNOWN_OP
+                self.gateway.record_sim_charge(target, transport)
 
             self.requests_handled += 1
-            if fault_text:
-                self.faults_returned += 1
-                return encode_response(operation, None, fault=fault_text)
-            return encode_response(operation, result)
+            self.faults_returned += sum(1 for item in items if not item.ok)
+            if is_batch:
+                return encode_batch_response(
+                    [(item.operation, item.result, item.fault)
+                     for item in items]
+                )
+            item = items[0]
+            if item.fault is not None:
+                return encode_response(item.operation, None, fault=item.fault)
+            return encode_response(item.operation, item.result)
         finally:
             self.threads.release()
 

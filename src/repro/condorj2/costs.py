@@ -37,6 +37,11 @@ class CasCostModel:
     response_encode_seconds: float = 0.0012
     #: Kernel-mode (network stack, context switches) cost per call.
     system_seconds_per_call: float = 0.0018
+    #: User CPU to validate one operation against its contract (request
+    #: schema + response schema).  Charged per dispatched op — a batch
+    #: envelope pays one transport but N of these, which is exactly the
+    #: trade the multiplexed envelope exists to win.
+    contract_validate_seconds: float = 0.0002
 
     # -- SQL execution ---------------------------------------------------
     #: User CPU per SELECT (plan + fetch on an indexed table).

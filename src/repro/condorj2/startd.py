@@ -8,8 +8,11 @@ VMs.  The protocol is Table 2's:
 * register on boot (machine + VM tuples created, boot history recorded);
 * heartbeat periodically — and immediately after job events — carrying VM
   states and any completions/drops;
-* when the response says MATCHINFO, invoke acceptMatch per idle VM and
-  spawn a starter (the shared execution model) for each accepted job.
+* when the response says MATCHINFO, accept every match in **one
+  multiplexed batch envelope** (one round-trip for N acceptMatch ops,
+  where the original protocol paid N), spawn a starter per accepted job,
+  and let the beginExecute notifications ride the *next* heartbeat's
+  envelope instead of costing their own round-trips.
 
 "Execute nodes in CondorJ2 always initiate any interaction they have with
 the CAS" — there is no server-push path anywhere below.
@@ -18,20 +21,23 @@ the CAS" — there is no server-push path anywhere below.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Generator, List, Optional
+from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from repro.cluster.execution import ExecutionModel, ExecutionOutcome
 from repro.cluster.job import JobSpec
 from repro.cluster.machine import PhysicalNode, VirtualMachine, VmState
 from repro.condorj2.web.soap import (
+    ServiceFault,
     SoapFault,
+    decode_batch_response,
     decode_response,
+    encode_batch_request,
     encode_request,
-    envelope_size,
 )
+from repro.condorj2.web.transport import rpc_roundtrip
 from repro.sim.kernel import Delay, Signal, Simulator, Spawn, Wait
 from repro.sim.monitor import EventLog
-from repro.sim.network import Network, RpcResult
+from repro.sim.network import Network
 
 
 @dataclass
@@ -74,6 +80,9 @@ class CondorJ2Startd:
         self.log = log if log is not None else EventLog()
         self.address = f"startd@{node.name}"
         self._pending_events: List[Dict[str, Any]] = []
+        #: Operations queued to ride the next heartbeat's batch envelope
+        #: (beginExecute notifications — no dedicated round-trips).
+        self._pending_ops: List[Tuple[str, Dict[str, Any]]] = []
         self._wake: Signal = Signal(f"{self.address}.wake")
         self._jobs_by_id: Dict[int, JobSpec] = {}
         self._last_reported: Dict[str, str] = {}
@@ -109,16 +118,24 @@ class CondorJ2Startd:
         Raises :class:`SoapFault` on remote faults and transport errors so
         the caller can decide how to recover.
         """
-        envelope = encode_request(operation, payload)
-        signal = self.network.request(
-            self, self.cas_address, operation, payload=envelope,
-            size_bytes=envelope_size(envelope),
-        )
-        _, result = yield Wait(signal)
-        assert isinstance(result, RpcResult)
-        if not result.ok:
-            raise SoapFault(f"transport failure: {result.error!r}")
-        return decode_response(result.value)
+        return (yield from rpc_roundtrip(
+            self, operation, encode_request(operation, payload),
+            decode_response,
+        ))
+
+    def _call_batch(
+        self, calls: List[Tuple[str, Dict[str, Any]]]
+    ) -> Generator:
+        """Invoke N operations in one multiplexed envelope (one
+        round-trip); returns per-op payloads and fault objects in order.
+
+        Raises :class:`SoapFault` only on *transport* failure — per-op
+        faults are returned in place so siblings still count.
+        """
+        return (yield from rpc_roundtrip(
+            self, "batch", encode_batch_request(calls),
+            decode_batch_response,
+        ))
 
     def _vm_states_payload(self) -> List[Dict[str, Any]]:
         """Changed VM states since the last beat (full table every Nth)."""
@@ -150,8 +167,34 @@ class CondorJ2Startd:
         failures = 0
         while self.running:
             payload = self._heartbeat_payload()
+            riders, self._pending_ops = self._pending_ops, []
             try:
-                response = yield from self._call("heartbeat", payload)
+                if riders:
+                    # Queued beginExecute notifications ride the same
+                    # envelope as the heartbeat: one round-trip total.
+                    try:
+                        results = yield from self._call_batch(
+                            riders + [("heartbeat", payload)]
+                        )
+                    except SoapFault:
+                        # Transport failure: the envelope never arrived,
+                        # so the riders were not executed — requeue them
+                        # for the next beat.
+                        self._pending_ops = riders + self._pending_ops
+                        raise
+                    # The envelope was delivered, so every rider is
+                    # settled — even if the heartbeat op below faulted.
+                    # Rider faults are not retried (the server refused
+                    # them; replaying cannot help) but they are counted.
+                    self.rpc_failures += sum(
+                        1 for item in results[:-1]
+                        if isinstance(item, ServiceFault)
+                    )
+                    response = results[-1]
+                    if isinstance(response, ServiceFault):
+                        raise response
+                else:
+                    response = yield from self._call("heartbeat", payload)
                 failures = 0
             except SoapFault:
                 # Requeue the events we drained so the next beat resends
@@ -178,18 +221,34 @@ class CondorJ2Startd:
             yield Wait(self._wake, timeout=interval)
 
     def _accept_matches(self, matches) -> Generator:
-        """acceptMatch + starter spawn for each match on an idle VM."""
+        """Accept every usable match in one batch envelope, then spawn
+        starters; beginExecute notifications ride the next heartbeat.
+
+        Where the original protocol paid one round-trip per match, the
+        multiplexed envelope pays one for the whole MATCHINFO response —
+        per-op faults (a match raced away, an illegal transition) skip
+        just their own match.
+        """
         vms_by_id = {vm.vm_id: vm for vm in self.node.vms}
+        accepted: List[tuple] = []
         for match in matches:
             vm = vms_by_id.get(match["vm_id"])
             if vm is None or vm.state != VmState.IDLE:
                 continue
-            try:
-                response = yield from self._call(
-                    "acceptMatch",
-                    {"job_id": match["job_id"], "vm_id": match["vm_id"]},
-                )
-            except SoapFault:
+            accepted.append((match, vm))
+        if not accepted:
+            return
+        try:
+            results = yield from self._call_batch([
+                ("acceptMatch",
+                 {"job_id": match["job_id"], "vm_id": match["vm_id"]})
+                for match, _ in accepted
+            ])
+        except SoapFault:
+            self.rpc_failures += 1
+            return
+        for (match, vm), response in zip(accepted, results):
+            if isinstance(response, ServiceFault):
                 self.rpc_failures += 1
                 continue
             if response.get("status") != "OK":
@@ -206,6 +265,14 @@ class CondorJ2Startd:
                 "startd", "starter", "spawn", description="startd spawns starter"
             )
             yield Spawn(self._starter(vm, spec), f"starter:{spec.job_id}")
+            # Table 2, step 11: the startd tells the CAS execution has
+            # begun — as a rider on the next heartbeat envelope, not as
+            # a round-trip of its own.
+            self._pending_ops.append((
+                "beginExecute",
+                {"machine": self.node.name, "job_id": spec.job_id,
+                 "vm_id": vm.vm_id},
+            ))
 
     def _starter(self, vm: VirtualMachine, spec: JobSpec) -> Generator:
         """The starter: run the job environment and report the outcome."""

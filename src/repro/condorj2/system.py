@@ -18,15 +18,16 @@ from repro.condorj2.cas import CondorJ2ApplicationServer
 from repro.condorj2.costs import CasCostModel
 from repro.condorj2.startd import CondorJ2Startd, StartdConfig
 from repro.condorj2.web.soap import (
-    SoapFault,
+    decode_batch_response,
     decode_response,
+    encode_batch_request,
     encode_request,
-    envelope_size,
 )
+from repro.condorj2.web.transport import rpc_roundtrip
 from repro.sim.cpu import quad_xeon
-from repro.sim.kernel import Simulator, Wait
+from repro.sim.kernel import Simulator
 from repro.sim.monitor import EventLog
-from repro.sim.network import LatencyModel, MessageTrace, Network, RpcResult
+from repro.sim.network import LatencyModel, MessageTrace, Network
 
 
 class UserClient:
@@ -52,16 +53,22 @@ class UserClient:
 
     def call(self, operation: str, payload: Any) -> Generator:
         """Coroutine: invoke a CAS operation and return its payload."""
-        envelope = encode_request(operation, payload)
-        signal = self.network.request(
-            self, self.cas_address, operation, payload=envelope,
-            size_bytes=envelope_size(envelope),
-        )
-        _, result = yield Wait(signal)
-        assert isinstance(result, RpcResult)
-        if not result.ok:
-            raise SoapFault(f"transport failure: {result.error!r}")
-        return decode_response(result.value)
+        return (yield from rpc_roundtrip(
+            self, operation, encode_request(operation, payload),
+            decode_response,
+        ))
+
+    def call_batch(self, calls: Sequence[tuple]) -> Generator:
+        """Coroutine: invoke N operations in one multiplexed envelope.
+
+        Returns per-op payloads and fault objects in request order —
+        per-op faults are values, not exceptions, so one failed op does
+        not mask its siblings' results.
+        """
+        return (yield from rpc_roundtrip(
+            self, "batch", encode_batch_request(calls),
+            decode_batch_response,
+        ))
 
     def submit_specs(self, specs: Sequence[JobSpec]) -> Generator:
         """Coroutine: submit a batch of jobs through the web service."""

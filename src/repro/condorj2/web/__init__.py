@@ -3,9 +3,14 @@
 from repro.condorj2.web.services import WebServiceRegistry
 from repro.condorj2.web.site import PoolWebSite
 from repro.condorj2.web.soap import (
+    ServiceFault,
     SoapFault,
+    decode_batch_response,
+    decode_envelope,
     decode_request,
     decode_response,
+    encode_batch_request,
+    encode_batch_response,
     encode_request,
     encode_response,
     envelope_size,
@@ -13,10 +18,15 @@ from repro.condorj2.web.soap import (
 
 __all__ = [
     "PoolWebSite",
+    "ServiceFault",
     "SoapFault",
     "WebServiceRegistry",
+    "decode_batch_response",
+    "decode_envelope",
     "decode_request",
     "decode_response",
+    "encode_batch_request",
+    "encode_batch_response",
     "encode_request",
     "encode_response",
     "envelope_size",

@@ -1,4 +1,4 @@
-"""The web-service interface: operation registry and dispatch.
+"""The web-service interface: contract bindings and the service gateway.
 
 "For daemons running on execute machines, the CAS exposes a set of web
 services specifically tailored to the interactions the daemons need to
@@ -6,13 +6,24 @@ have with the operational data store" (section 4.1).  The same registry
 also exposes the client-facing services (submission, queries), because
 "both external interfaces are built on top of the same set of underlying
 system services".
+
+Every operation is declared as an
+:class:`~repro.condorj2.api.contracts.OperationContract` (name, version,
+request/response schemas, side-effect class, batchability, routing key);
+this module *binds* those contracts to the application-logic layer and
+wraps the bindings in a :class:`~repro.condorj2.api.gateway.ServiceGateway`
+so every dispatch is validated and metered.  Handlers receive payloads
+the gateway has already validated and defaulted, and their replies are
+validated against the response schema before they reach the wire.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.cluster.job import JobSpec
+from repro.condorj2.api.contracts import ContractRegistry
+from repro.condorj2.api.gateway import ServiceGateway
 from repro.condorj2.logic import (
     ConfigService,
     HeartbeatService,
@@ -21,15 +32,14 @@ from repro.condorj2.logic import (
     SchedulingService,
     SubmissionService,
 )
-from repro.condorj2.web.soap import SoapFault
 
 
 class WebServiceRegistry:
-    """Maps operation names to handlers in the application-logic layer.
+    """Binds the operation contracts to the application-logic layer.
 
-    Every handler takes ``(payload, now)`` and returns a JSON-like
-    response payload.  Unknown operations raise :class:`SoapFault`, which
-    the CAS turns into a fault envelope.
+    The registry refuses to construct unless every declared contract has
+    a handler; dispatch runs through the gateway pipeline (validate ->
+    meter -> translate -> handler -> validate response).
     """
 
     def __init__(
@@ -40,6 +50,7 @@ class WebServiceRegistry:
         lifecycle: LifecycleService,
         reports: ReportService,
         config: ConfigService,
+        costs: Optional[Any] = None,
     ):
         self.submission = submission
         self.scheduling = scheduling
@@ -47,8 +58,8 @@ class WebServiceRegistry:
         self.lifecycle = lifecycle
         self.reports = reports
         self.config = config
-        self.calls: Dict[str, int] = {}
-        self._operations: Dict[str, Callable[[Any, float], Any]] = {
+        self.contracts = ContractRegistry()
+        for name, handler in {
             # startd-facing services
             "registerMachine": self._op_register_machine,
             "heartbeat": self._op_heartbeat,
@@ -65,19 +76,27 @@ class WebServiceRegistry:
             "jobDetail": self._op_job_detail,
             "setPolicy": self._op_set_policy,
             "getPolicy": self._op_get_policy,
-        }
+        }.items():
+            self.contracts.bind(name, handler)
+        self.contracts.assert_fully_bound()
+        self.gateway = ServiceGateway(
+            self.contracts,
+            counts=submission.container.db.counts,
+            costs=costs,
+        )
+
+    @property
+    def calls(self) -> Dict[str, int]:
+        """Operation -> dispatched-call count (the legacy meter view)."""
+        return self.gateway.call_counts()
 
     def operations(self) -> List[str]:
         """Names of all exposed operations (the service WSDL, in spirit)."""
-        return sorted(self._operations)
+        return self.contracts.operations()
 
     def dispatch(self, operation: str, payload: Any, now: float) -> Any:
-        """Route one decoded request to its handler."""
-        handler = self._operations.get(operation)
-        if handler is None:
-            raise SoapFault(f"unknown operation {operation!r}")
-        self.calls[operation] = self.calls.get(operation, 0) + 1
-        return handler(payload, now)
+        """Route one decoded request through the gateway pipeline."""
+        return self.gateway.dispatch(operation, payload, now)
 
     # ------------------------------------------------------------------
     # startd-facing handlers
@@ -112,7 +131,7 @@ class WebServiceRegistry:
 
     def _op_report_drop(self, payload: Any, now: float) -> Any:
         self.lifecycle.report_drop(
-            payload["job_id"], payload["vm_id"], now, reason=payload.get("reason", "")
+            payload["job_id"], payload["vm_id"], now, reason=payload["reason"]
         )
         return {"status": "OK"}
 
@@ -121,18 +140,20 @@ class WebServiceRegistry:
     # ------------------------------------------------------------------
     @staticmethod
     def _spec_from_payload(data: Dict[str, Any]) -> JobSpec:
+        # The request schema validated types and filled contract
+        # defaults, so the fields can be read directly.
         spec = JobSpec(
-            owner=data.get("owner", "user"),
-            cmd=data.get("cmd", "/bin/science"),
-            run_seconds=float(data.get("run_seconds", 60.0)),
-            image_size_mb=int(data.get("image_size_mb", 16)),
-            requirements=data.get("requirements"),
-            rank=data.get("rank"),
-            depends_on=tuple(data.get("depends_on", ())),
+            owner=data["owner"],
+            cmd=data["cmd"],
+            run_seconds=float(data["run_seconds"]),
+            image_size_mb=int(data["image_size_mb"]),
+            requirements=data["requirements"],
+            rank=data["rank"],
+            depends_on=tuple(data["depends_on"]),
         )
         # Preserve the client-assigned id when present: dependency edges
         # reference submitted ids, so the server must keep them stable.
-        if data.get("job_id") is not None:
+        if data["job_id"] is not None:
             spec.job_id = int(data["job_id"])
         return spec
 
@@ -164,7 +185,7 @@ class WebServiceRegistry:
     def _op_set_policy(self, payload: Any, now: float) -> Any:
         self.config.set(
             payload["name"], payload["value"], now,
-            changed_by=payload.get("changed_by", "admin"),
+            changed_by=payload["changed_by"],
         )
         return {"status": "OK"}
 

@@ -9,7 +9,7 @@ to the client" — as monospace report pages.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.condorj2.logic import ConfigService, ReportService
 from repro.metrics.report import ascii_table
@@ -18,9 +18,13 @@ from repro.metrics.report import ascii_table
 class PoolWebSite:
     """Renders standard report pages from the report/config services."""
 
-    def __init__(self, reports: ReportService, config: ConfigService):
+    def __init__(self, reports: ReportService, config: ConfigService,
+                 gateway=None):
         self.reports = reports
         self.config = config
+        #: The service gateway, when per-operation web-service statistics
+        #: should appear on the statistics page.
+        self.gateway = gateway
         self.page_views: Dict[str, int] = {}
 
     def _count(self, page: str) -> None:
@@ -110,4 +114,35 @@ class PoolWebSite:
         engine_report = ascii_table(
             ["metric", "value"], engine_rows, title="Storage Engine",
         )
-        return table_report + "\n\n" + engine_report
+        report = table_report + "\n\n" + engine_report
+        operations_report = self._operations_report()
+        if operations_report:
+            report += "\n\n" + operations_report
+        return report
+
+    def _operations_report(self) -> Optional[str]:
+        """Per-operation gateway meter: calls, faults, latency, charge."""
+        if self.gateway is None or not self.gateway.stats:
+            return None
+        rows = []
+        for operation in sorted(self.gateway.stats):
+            stats = self.gateway.stats[operation]
+            codes = ",".join(
+                f"{code}:{count}"
+                for code, count in sorted(stats.fault_codes.items())
+            )
+            rows.append([
+                operation,
+                stats.calls,
+                stats.faults,
+                f"{stats.fault_rate:.3f}",
+                f"{stats.mean_handler_seconds * 1e6:.0f}",
+                f"{stats.sim_seconds:.4f}",
+                stats.statements,
+                codes or "-",
+            ])
+        return ascii_table(
+            ["operation", "calls", "faults", "fault rate", "mean µs",
+             "sim s", "stmts", "fault codes"],
+            rows, title="Web-Service Operations",
+        )

@@ -42,6 +42,7 @@ COMPONENTS: Dict[str, List[str]] = {
         "condorj2/costs.py",
         "condorj2/web/soap.py",
         "condorj2/web/services.py",
+        "condorj2/api",
     ],
     # The paper's itemised CondorJ2 extras.
     "condorj2-config-mgmt": ["condorj2/logic/config.py"],

@@ -1,0 +1,225 @@
+"""Contract-conformance tests for the typed service tier.
+
+Every operation must be declared as a contract (schemas, version,
+side-effect class), every handler's output must validate against its
+response schema, and every fault the tier emits must carry a documented
+(code, subcode) pair.
+"""
+
+import pytest
+
+from repro.cluster import ClusterSpec, RELIABLE_EXECUTION
+from repro.condorj2 import CondorJ2System
+from repro.condorj2.api import (
+    CONTRACTS,
+    ConflictFault,
+    FAULT_CODES,
+    FAULT_SUBCODES,
+    ValidationFault,
+)
+from repro.condorj2.api.contracts import SIDE_EFFECTS, ContractRegistry
+from repro.condorj2.api.fields import SchemaDef
+
+
+def small_system(**kwargs):
+    defaults = dict(
+        cluster=ClusterSpec(physical_nodes=2, vms_per_node=2,
+                            dual_core_fraction=0.0, speed_jitter=0.0),
+        seed=13,
+        execution=RELIABLE_EXECUTION,
+    )
+    defaults.update(kwargs)
+    return CondorJ2System(**defaults)
+
+
+# ----------------------------------------------------------------------
+# registry conformance
+# ----------------------------------------------------------------------
+def test_every_operation_has_a_complete_contract():
+    for contract in CONTRACTS:
+        assert isinstance(contract.request, SchemaDef), contract.name
+        assert isinstance(contract.response, SchemaDef), contract.name
+        major, _, minor = contract.version.partition(".")
+        assert major.isdigit() and minor.isdigit(), contract.name
+        assert contract.side_effect in SIDE_EFFECTS, contract.name
+        assert contract.summary, contract.name
+
+
+def test_contract_table_covers_exactly_the_service_surface():
+    system = small_system()
+    assert system.cas.registry.operations() == sorted(
+        contract.name for contract in CONTRACTS
+    )
+    assert len(CONTRACTS) == 14
+
+
+def test_registry_refuses_partial_bindings():
+    registry = ContractRegistry()
+    registry.bind("heartbeat", lambda payload, now: None)
+    with pytest.raises(ValueError, match="contracts without handlers"):
+        registry.assert_fully_bound()
+    with pytest.raises(ValueError, match="no contract"):
+        registry.bind("noSuchOp", lambda payload, now: None)
+
+
+def test_every_emitted_subcode_is_documented():
+    for code in FAULT_CODES:
+        assert code in FAULT_SUBCODES
+        for subcode, meaning in FAULT_SUBCODES[code].items():
+            assert subcode == subcode.lower()
+            assert meaning
+
+
+# ----------------------------------------------------------------------
+# handler outputs validate against their response schemas
+# ----------------------------------------------------------------------
+def test_every_handler_response_validates():
+    """Dispatch each of the 14 operations with a valid payload.
+
+    The gateway validates responses after the handler runs, surfacing
+    any mismatch as INTERNAL/response-validation — so a clean dispatch
+    *is* the conformance proof.
+    """
+    system = small_system()
+    registry = system.cas.registry
+    now = 0.0
+
+    def call(operation, payload):
+        return registry.dispatch(operation, payload, now)
+
+    call("registerMachine", system.nodes[0].describe())
+    call("registerMachine", system.nodes[1].describe())
+    call("setPolicy", {"name": "p1", "value": "42"})
+    assert call("getPolicy", {"name": "p1"})["value"] == "42"
+    assert call("getPolicy", {"name": "absent"})["value"] is None
+
+    submitted = call("submitJob", {"owner": "alice", "run_seconds": 30.0})
+    job_id = submitted["job_id"]
+    batch = call("submitJobs", {"jobs": [
+        {"owner": "bob"}, {"owner": "bob", "run_seconds": 5.0},
+    ]})
+    assert len(batch["job_ids"]) == 2
+
+    beat = call("heartbeat", {"machine": system.nodes[0].name})
+    assert beat["status"] in ("OK", "MATCHINFO")
+    assert beat["matches"] or beat["status"] == "OK"
+
+    matches = system.cas.scheduling.pending_matches_for_machine(
+        system.nodes[0].name
+    ) or beat["matches"]
+    assert matches, "scheduling should have matched the submitted jobs"
+    match = matches[0]
+    accepted = call("acceptMatch",
+                    {"job_id": match["job_id"], "vm_id": match["vm_id"]})
+    assert accepted["status"] == "OK"
+    call("beginExecute", {"machine": system.nodes[0].name,
+                          "job_id": match["job_id"],
+                          "vm_id": match["vm_id"]})
+    call("reportDrop", {"job_id": match["job_id"], "vm_id": match["vm_id"]})
+
+    summary = call("queueSummary", {})
+    assert summary["idle"] >= 1
+    status = call("poolStatus", {})
+    assert status["machines_total"] == 2
+    users = call("userSummary", {"owner": "alice"})
+    assert users["owner"] == "alice"
+    detail = call("jobDetail", {"job_id": job_id})
+    assert detail["source"] == "queue"
+    assert call("jobDetail", {"job_id": 999999}) is None
+    call("removeJob", {"job_id": job_id})
+
+
+# ----------------------------------------------------------------------
+# request validation: precise faults, applied defaults
+# ----------------------------------------------------------------------
+@pytest.fixture
+def registry():
+    return small_system().cas.registry
+
+
+def _fault(registry, operation, payload):
+    with pytest.raises(ValidationFault) as excinfo:
+        registry.dispatch(operation, payload, 0.0)
+    return excinfo.value
+
+
+def test_missing_required_field(registry):
+    fault = _fault(registry, "acceptMatch", {"job_id": 1})
+    assert fault.subcode == "missing-field"
+    assert "vm_id" in fault.detail
+
+
+def test_wrong_type(registry):
+    fault = _fault(registry, "acceptMatch", {"job_id": "one", "vm_id": "v"})
+    assert fault.subcode == "wrong-type"
+
+
+def test_unknown_field(registry):
+    fault = _fault(registry, "removeJob", {"job_id": 1, "force": True})
+    assert fault.subcode == "unknown-field"
+    assert "force" in fault.detail
+
+
+def test_enum_violation(registry):
+    fault = _fault(registry, "heartbeat", {
+        "machine": "m", "vms": [{"vm_id": "v", "state": "exploded"}],
+    })
+    assert fault.subcode == "bad-value"
+    assert "exploded" in fault.detail
+
+
+def test_non_struct_payload(registry):
+    fault = _fault(registry, "poolStatus", [1, 2, 3])
+    assert fault.subcode == "not-a-struct"
+
+
+def test_bool_is_not_an_int(registry):
+    fault = _fault(registry, "jobDetail", {"job_id": True})
+    assert fault.subcode == "wrong-type"
+
+
+def test_defaults_are_contract_owned():
+    """submitJob with an empty payload gets every contract default."""
+    system = small_system()
+    system.cas.registry.dispatch("registerMachine",
+                                 system.nodes[0].describe(), 0.0)
+    response = system.cas.registry.dispatch("submitJob", {}, 0.0)
+    detail = system.cas.reports.job_detail(response["job_id"])
+    assert detail["owner"] == "user"
+    assert detail["cmd"] == "/bin/science"
+    assert detail["run_seconds"] == 60.0
+    assert detail["image_size_mb"] == 16
+
+
+def test_conflict_faults_carry_state_subcodes(registry):
+    with pytest.raises(ConflictFault) as excinfo:
+        registry.dispatch("acceptMatch", {"job_id": 404, "vm_id": "vm0@x"},
+                          0.0)
+    assert excinfo.value.subcode == "not-found"
+    with pytest.raises(ConflictFault) as excinfo:
+        registry.dispatch("heartbeat", {"machine": "never-registered"}, 0.0)
+    assert excinfo.value.subcode == "not-found"
+
+
+# ----------------------------------------------------------------------
+# routing keys: the sharding seam
+# ----------------------------------------------------------------------
+def test_routing_keys_extract_shard_values():
+    by_name = {contract.name: contract for contract in CONTRACTS}
+    assert by_name["heartbeat"].routing_key_value(
+        {"machine": "node007"}) == "node007"
+    assert by_name["acceptMatch"].routing_key_value(
+        {"job_id": 3, "vm_id": "vm0@n1"}) == "vm0@n1"
+    assert by_name["submitJobs"].routing_key_value(
+        {"jobs": [{"owner": "alice"}, {"owner": "bob"}]}) == "alice"
+    assert by_name["submitJobs"].routing_key_value({"jobs": []}) is None
+    assert by_name["poolStatus"].routing_key_value({}) is None
+
+
+def test_write_operations_declare_routing_keys_where_shardable():
+    """Every startd-facing write routes by machine or VM — the seam the
+    ROADMAP's sharding item needs."""
+    by_name = {contract.name: contract for contract in CONTRACTS}
+    for name in ("registerMachine", "heartbeat", "beginExecute",
+                 "acceptMatch", "reportDrop"):
+        assert by_name[name].routing_key is not None, name

@@ -1,0 +1,38 @@
+"""API.md freshness: the committed reference must match the registry.
+
+``API.md`` is generated from the contract table; editing a contract
+without regenerating the document (or editing the document by hand)
+fails here.  Regenerate with::
+
+    PYTHONPATH=src python -m repro.condorj2.api.docs > API.md
+"""
+
+from pathlib import Path
+
+from repro.condorj2.api.contracts import CONTRACTS
+from repro.condorj2.api.docs import render_api_markdown
+
+API_MD = Path(__file__).resolve().parents[2] / "API.md"
+
+
+def test_api_md_is_fresh():
+    assert API_MD.exists(), "API.md is missing; regenerate it"
+    committed = API_MD.read_text(encoding="utf-8")
+    assert committed == render_api_markdown(), (
+        "API.md is stale: regenerate with "
+        "`PYTHONPATH=src python -m repro.condorj2.api.docs > API.md`"
+    )
+
+
+def test_api_md_documents_every_operation_and_fault_code():
+    document = render_api_markdown()
+    for contract in CONTRACTS:
+        assert f"`{contract.name}`" in document
+        assert f"(v{contract.version})" in document
+    for code in ("MALFORMED", "UNKNOWN_OP", "VALIDATION", "CONFLICT",
+                 "INTERNAL"):
+        assert f"`{code}`" in document
+
+
+def test_rendering_is_deterministic():
+    assert render_api_markdown() == render_api_markdown()

@@ -1,0 +1,305 @@
+"""Gateway pipeline, metering, batch envelope and end-to-end fault tests."""
+
+import pytest
+
+from repro.cluster import ClusterSpec, RELIABLE_EXECUTION
+from repro.condorj2 import CondorJ2System
+from repro.condorj2.api import FaultCode, ServiceFault, ValidationFault
+from repro.condorj2.api.gateway import MALFORMED_OP
+from repro.condorj2.web.soap import encode_request
+from repro.workload import fixed_length_batch
+
+
+def small_system(**kwargs):
+    defaults = dict(
+        cluster=ClusterSpec(physical_nodes=2, vms_per_node=2,
+                            dual_core_fraction=0.0, speed_jitter=0.0),
+        seed=13,
+        execution=RELIABLE_EXECUTION,
+    )
+    defaults.update(kwargs)
+    return CondorJ2System(**defaults)
+
+
+# ----------------------------------------------------------------------
+# metering middleware (per-operation call/fault/latency stats)
+# ----------------------------------------------------------------------
+def test_meter_records_calls_faults_and_latency():
+    system = small_system()
+    gateway = system.cas.gateway
+    system.cas.registry.dispatch("registerMachine",
+                                 system.nodes[0].describe(), 0.0)
+    with pytest.raises(ServiceFault):
+        system.cas.registry.dispatch(
+            "acceptMatch", {"job_id": 404, "vm_id": "vm0@x"}, 0.0
+        )
+    register = gateway.stats["registerMachine"]
+    assert register.calls == 1
+    assert register.faults == 0
+    assert register.handler_seconds > 0.0
+    assert register.max_handler_seconds <= register.handler_seconds
+    assert register.statements > 0
+    accept = gateway.stats["acceptMatch"]
+    assert accept.calls == 1
+    assert accept.faults == 1
+    assert accept.fault_codes == {FaultCode.CONFLICT: 1}
+    assert accept.fault_rate == 1.0
+
+
+def test_validation_failures_meter_without_counting_a_call():
+    system = small_system()
+    with pytest.raises(ValidationFault):
+        system.cas.registry.dispatch("acceptMatch", {"job_id": 1}, 0.0)
+    stats = system.cas.gateway.stats["acceptMatch"]
+    assert stats.calls == 0
+    assert stats.fault_codes == {FaultCode.VALIDATION: 1}
+    # ...but it still counts as an attempt, so the fault rate is honest.
+    assert stats.attempts == 1
+    assert stats.fault_rate == 1.0
+
+
+def test_fault_rate_shares_a_denominator_across_fault_kinds():
+    """Validation faults (pre-handler) and handler faults must land in
+    the same attempts denominator — 1 success + 2 validation faults is
+    a 2/3 fault rate, never 2.0 or 0.0."""
+    system = small_system()
+    system.cas.registry.dispatch("submitJob", {"owner": "a"}, 0.0)
+    for _ in range(2):
+        with pytest.raises(ValidationFault):
+            system.cas.registry.dispatch("submitJob", {"owner": 7}, 0.0)
+    stats = system.cas.gateway.stats["submitJob"]
+    assert stats.attempts == 3
+    assert stats.calls == 1
+    assert stats.faults == 2
+    assert stats.fault_rate == pytest.approx(2 / 3)
+
+
+def test_meter_attributes_statement_work_per_operation():
+    system = small_system()
+    system.cas.registry.dispatch("registerMachine",
+                                 system.nodes[0].describe(), 0.0)
+    system.cas.registry.dispatch("submitJob", {"owner": "a"}, 0.0)
+    stats = system.cas.gateway.stats
+    assert stats["submitJob"].row_work > 0
+    assert stats["submitJob"].sim_seconds > 0.0
+
+
+# ----------------------------------------------------------------------
+# batch dispatch: isolation and batchability
+# ----------------------------------------------------------------------
+def test_batch_isolates_per_op_faults():
+    system = small_system()
+    items = system.cas.gateway.dispatch_batch(
+        [
+            ("submitJob", {"owner": "a"}),
+            ("acceptMatch", {"job_id": 404, "vm_id": "nope"}),
+            ("queueSummary", {}),
+        ],
+        0.0,
+    )
+    assert [item.ok for item in items] == [True, False, True]
+    assert items[1].fault.code == FaultCode.CONFLICT
+    assert items[2].result["idle"] == 1
+
+
+def test_non_batchable_operation_is_refused_in_batch():
+    system = small_system()
+    items = system.cas.gateway.dispatch_batch(
+        [("registerMachine", system.nodes[0].describe())], 0.0
+    )
+    assert not items[0].ok
+    assert items[0].fault.code == FaultCode.VALIDATION
+    assert items[0].fault.subcode == "not-batchable"
+    # ...but it is fine as a single-op envelope.
+    assert system.cas.registry.dispatch(
+        "registerMachine", system.nodes[0].describe(), 0.0
+    )["status"] == "OK"
+
+
+# ----------------------------------------------------------------------
+# end-to-end fault paths through the CAS (each charged in the cost model)
+# ----------------------------------------------------------------------
+def _send_raw(system, envelope):
+    """Push a raw envelope through the network to the CAS."""
+    return system.sim.spawn(_raw_call(system, envelope))
+
+
+def _raw_call(system, envelope):
+    from repro.condorj2.web.soap import decode_response, envelope_size
+    from repro.sim.kernel import Wait
+    from repro.sim.network import RpcResult
+
+    signal = system.network.request(
+        system.user, "cas", "raw", payload=envelope,
+        size_bytes=envelope_size(envelope),
+    )
+    _, result = yield Wait(signal)
+    assert isinstance(result, RpcResult)
+    return decode_response(result.value)
+
+
+@pytest.mark.parametrize(
+    "envelope_factory, expected_code, expected_subcode",
+    [
+        (lambda: "<soap:Envelope><garbage>", FaultCode.MALFORMED,
+         "bad-envelope"),
+        (lambda: encode_request("noSuchOp", {}), FaultCode.UNKNOWN_OP,
+         "unregistered"),
+        (lambda: encode_request("acceptMatch", {"job_id": 1}),
+         FaultCode.VALIDATION, "missing-field"),
+    ],
+)
+def test_fault_paths_end_to_end(envelope_factory, expected_code,
+                                expected_subcode):
+    system = small_system()
+    system.start()
+    system.sim.run(until=5.0)
+    faults_before = system.cas.faults_returned
+    user_cpu_before = system.server_host.meter.total_seconds("user")
+    process = _send_raw(system, envelope_factory())
+    system.sim.run(until=10.0)
+    assert process.done
+    fault = process.error
+    assert isinstance(fault, ServiceFault)
+    assert fault.code == expected_code
+    assert fault.subcode == expected_subcode
+    assert system.cas.faults_returned == faults_before + 1
+    # The fault consumed real simulated CPU: parse + encode at minimum.
+    assert (system.server_host.meter.total_seconds("user")
+            > user_cpu_before)
+
+
+def test_malformed_envelopes_are_metered():
+    system = small_system()
+    system.start()
+    system.sim.run(until=5.0)
+    _send_raw(system, "<soap:Envelope><garbage>")
+    system.sim.run(until=10.0)
+    stats = system.cas.gateway.stats[MALFORMED_OP]
+    assert stats.fault_codes == {FaultCode.MALFORMED: 1}
+    # The garbage still consumed parse + encode CPU, and it shows.
+    assert stats.sim_seconds > 0.0
+
+
+def test_unknown_ops_never_create_raw_stats_rows():
+    """The transport charge for an unresolved operation name lands on
+    the "(unknown)" pseudo-op, not on an arbitrary client-supplied
+    string (which would grow the stats table unboundedly)."""
+    from repro.condorj2.api.gateway import UNKNOWN_OP
+
+    system = small_system()
+    system.start()
+    system.sim.run(until=5.0)
+    _send_raw(system, encode_request("noSuchOp", {}))
+    system.sim.run(until=10.0)
+    assert "noSuchOp" not in system.cas.gateway.stats
+    unknown = system.cas.gateway.stats[UNKNOWN_OP]
+    assert unknown.fault_codes == {FaultCode.UNKNOWN_OP: 1}
+    assert unknown.sim_seconds > 0.0
+
+
+# ----------------------------------------------------------------------
+# the batch envelope in the wild: fewer simulated round-trips
+# ----------------------------------------------------------------------
+def test_accept_and_begin_ride_the_batch_envelope():
+    """Regression: the startd's accept/begin sequences must multiplex.
+
+    Four jobs matched onto one 4-VM machine used to cost four
+    acceptMatch round-trips (and begin notifications would have cost
+    four more); the batch envelope carries all of them in at most a
+    couple of envelopes, with zero single-op acceptMatch messages.
+    """
+    system = CondorJ2System(
+        ClusterSpec(physical_nodes=1, vms_per_node=4,
+                    dual_core_fraction=0.0, speed_jitter=0.0),
+        seed=5, execution=RELIABLE_EXECUTION, record_trace=True,
+    )
+    system.submit_at(0.0, fixed_length_batch(4, 15.0))
+    system.run_until_complete(expected_jobs=4, max_seconds=600.0)
+    assert system.completed_count() == 4
+
+    calls = system.cas.registry.calls
+    assert calls.get("acceptMatch") == 4
+    assert calls.get("beginExecute") == 4
+    # No single-op envelopes for the accept sequence...
+    assert system.trace.count("acceptMatch") == 0
+    assert system.trace.count("beginExecute") == 0
+    # ...and strictly fewer envelopes than the 8 op round-trips they
+    # replace (4 accepts in one batch; begins ride heartbeat batches).
+    batches = system.trace.count("batch")
+    assert 1 <= batches < 8
+
+
+def test_settled_riders_are_not_replayed_when_heartbeat_faults():
+    """Regression: a delivered batch settles its riders.
+
+    When the heartbeat op in a rider-carrying envelope faults at the
+    application level, the beginExecute riders in the same envelope
+    already executed — requeueing them (as the client once did) replays
+    committed operations, which the server then rejects as conflicts.
+    """
+    from repro.condorj2.api import ConflictFault
+
+    system = CondorJ2System(
+        ClusterSpec(physical_nodes=1, vms_per_node=4,
+                    dual_core_fraction=0.0, speed_jitter=0.0),
+        seed=5, execution=RELIABLE_EXECUTION,
+    )
+    gateway = system.cas.gateway
+    original = gateway.registry.handler("heartbeat")
+    state = {"injected": False}
+
+    def flaky(payload, now):
+        # Fault exactly one heartbeat that shares its envelope with
+        # riders: within a batch the riders dispatch first, so the
+        # first heartbeat after any beginExecute call is the one in
+        # that rider-carrying envelope.
+        begin = gateway.stats.get("beginExecute")
+        if begin and begin.calls and not state["injected"]:
+            state["injected"] = True
+            raise ConflictFault("injected heartbeat fault",
+                                subcode="injected-test")
+        return original(payload, now)
+
+    gateway.registry.bind("heartbeat", flaky)
+    system.submit_at(0.0, fixed_length_batch(4, 15.0))
+    system.run_until_complete(expected_jobs=4, max_seconds=600.0)
+    assert system.completed_count() == 4
+    assert state["injected"], "the fault injection never fired"
+    begin = gateway.stats["beginExecute"]
+    # Replayed riders would show up as extra (conflicting) attempts.
+    assert begin.attempts == 4
+    assert begin.faults == 0
+
+
+def test_batch_envelope_via_user_client():
+    system = small_system()
+    system.start()
+    process = system.sim.spawn(system.user.call_batch([
+        ("submitJob", {"owner": "alice", "run_seconds": 20.0}),
+        ("queueSummary", {}),
+        ("jobDetail", {"job_id": 424242}),
+        ("acceptMatch", {"job_id": 424242, "vm_id": "ghost"}),
+    ]))
+    system.sim.run(until=5.0)
+    assert process.done and process.error is None
+    submit, summary, detail, accept = process.result
+    assert submit["status"] == "OK"
+    assert summary["idle"] >= 1
+    assert detail is None
+    assert isinstance(accept, ServiceFault)
+    assert accept.code == FaultCode.CONFLICT
+    # One transport, four validated dispatches.
+    assert system.cas.requests_handled >= 1
+
+
+def test_statistics_page_surfaces_per_operation_stats():
+    system = small_system()
+    system.start()
+    system.submit_at(1.0, fixed_length_batch(4, 15.0))
+    system.run_until_complete(expected_jobs=4, max_seconds=600.0)
+    page = system.cas.site.statistics_page()
+    assert "Web-Service Operations" in page
+    for operation in ("heartbeat", "acceptMatch", "submitJobs"):
+        assert operation in page
+    assert "fault rate" in page
