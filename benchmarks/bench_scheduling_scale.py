@@ -9,9 +9,24 @@ records wall-clock per pass so regressions in the set-oriented plan
 a sqlite-vs-memory backend comparison so the second `StorageEngine`
 implementation is held to the same statement-count contract (and its
 interpreter overhead is visible as a wall-clock ratio, not a guess).
+
+Cold and warm passes are measured separately.  A *cold* pass is the
+first scheduling pass on a fresh pool: it compiles every plan
+cache-cold and does the real matchmaking work (all VMs are free).  A
+*warm* pass runs after an explicit warmup phase: plans come from the
+compiled-plan cache and the VMs are saturated, so it measures the pure
+no-capacity probe.  Mixing the two was the old skew — cold compile time
+was amortized into per-pass figures it does not belong to.
+
+Results are also written machine-readably to ``BENCH_scheduling.json``
+at the repo root (per-engine µs/pass at every depth plus plan-cache hit
+rates); CI uploads it as an artifact and a separate smoke job pins the
+memory/sqlite cold-pass ratio at 10k jobs to ``PERF_RATIO_BUDGET``.
 """
 
+import json
 import time
+from pathlib import Path
 
 import pytest
 
@@ -28,6 +43,21 @@ from repro.condorj2.logic import (
 QUEUE_DEPTHS = (1_000, 10_000, 50_000)
 VM_COUNT = 64
 BACKENDS = ("sqlite", "memory")
+
+#: Explicit warmup passes before warm timing starts (plan cache fully
+#: primed, VMs saturated), and the number of timed warm passes averaged.
+WARMUP_PASSES = 5
+TIMED_WARM_PASSES = 10
+
+#: CI budget for the memory engine: cold scheduling pass at 10k queued
+#: jobs must stay within this multiple of SQLite (ISSUE 6 acceptance:
+#: ≤2.5x, down from the 7.4x the planner work closed).  The perf-smoke
+#: CI job fails beyond this; apply the `perf-override` PR label to land
+#: a known, accepted regression (see .github/workflows/ci.yml).
+PERF_RATIO_BUDGET = 2.5
+PERF_RATIO_DEPTH = 10_000
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_scheduling.json"
 
 
 def _pool_with_queue(n_jobs, backend=None):
@@ -84,15 +114,125 @@ def test_scheduling_pass_statement_count_flat_1k_to_50k(benchmark):
 
 @pytest.mark.parametrize("depth", QUEUE_DEPTHS)
 def test_scheduling_pass_wall_clock_by_depth(benchmark, depth):
-    """Per-depth timing: the pass must not collapse at 50k queued jobs."""
+    """Per-depth warm timing: the pass must not collapse at 50k jobs.
+
+    The explicit warmup phase runs the cold pass (plan compiles, real
+    matchmaking) plus enough saturated passes to prime every cache, so
+    the timed rounds measure only the steady-state no-capacity probe —
+    cold-start cost is reported separately by the cold/warm split test.
+    """
     container, scheduling = _pool_with_queue(depth)
 
     def one_pass():
-        # Matches accumulate across rounds; VMs saturate after the first
-        # pass, so later passes measure the pure no-capacity probe.
         return scheduling.run_pass(now=float(scheduling.passes + 1))
 
-    benchmark.pedantic(one_pass, rounds=3, iterations=1, warmup_rounds=1)
+    benchmark.pedantic(
+        one_pass, rounds=3, iterations=1, warmup_rounds=WARMUP_PASSES
+    )
+
+
+def _measure_backend(backend, depth, cold_samples=3):
+    """Cold/warm split for one backend at one queue depth.
+
+    Cold: first scheduling pass on a fresh pool (empty plan cache, all
+    VMs free — plan compiles plus the real 64-match work), minimum over
+    ``cold_samples`` fresh pools.  Warm: after ``WARMUP_PASSES`` extra
+    passes on the last pool, mean over ``TIMED_WARM_PASSES`` saturated
+    passes.  Also reports the plan-cache hit rate over the whole run.
+    """
+    cold_seconds = []
+    container = scheduling = None
+    for _ in range(cold_samples):
+        container, scheduling = _pool_with_queue(depth, backend=backend)
+        start = time.perf_counter()
+        created = scheduling.run_pass(now=1.0)
+        cold_seconds.append(time.perf_counter() - start)
+        assert created == VM_COUNT
+    for _ in range(WARMUP_PASSES):
+        scheduling.run_pass(now=float(scheduling.passes + 1))
+    start = time.perf_counter()
+    for _ in range(TIMED_WARM_PASSES):
+        scheduling.run_pass(now=float(scheduling.passes + 1))
+    warm_seconds = (time.perf_counter() - start) / TIMED_WARM_PASSES
+    return {
+        "backend": backend,
+        "depth": depth,
+        "cold_pass_us": round(min(cold_seconds) * 1e6, 1),
+        "warm_pass_us": round(warm_seconds * 1e6, 1),
+        "plan_cache_hit_rate": round(
+            container.db.plan_cache.hit_rate(), 4
+        ),
+    }
+
+
+def test_scheduling_cold_warm_split_and_json(benchmark):
+    """Cold vs warm per-pass timing for both backends at every depth,
+    reported separately and written to ``BENCH_scheduling.json``."""
+    results = []
+
+    def run_matrix():
+        results.clear()
+        for backend in BACKENDS:
+            for depth in QUEUE_DEPTHS:
+                # One cold sample at 50k keeps the bench affordable; the
+                # pinned-ratio depth gets the full minimum-of-3.
+                samples = 3 if depth <= PERF_RATIO_DEPTH else 1
+                results.append(
+                    _measure_backend(backend, depth, cold_samples=samples)
+                )
+
+    benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+
+    print()
+    for r in results:
+        print(
+            f"backend={r['backend']:>7} queue={r['depth']:>6}: "
+            f"cold {r['cold_pass_us']:>10.1f} µs/pass, "
+            f"warm {r['warm_pass_us']:>8.1f} µs/pass, "
+            f"plan-cache hit rate {r['plan_cache_hit_rate']:.3f}"
+        )
+    payload = {
+        "bench": "scheduling_pass",
+        "vm_count": VM_COUNT,
+        "queue_depths": list(QUEUE_DEPTHS),
+        "warmup_passes": WARMUP_PASSES,
+        "timed_warm_passes": TIMED_WARM_PASSES,
+        "perf_ratio_budget": PERF_RATIO_BUDGET,
+        "results": results,
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {BENCH_JSON}")
+
+    # Hit rates are a property of the shared admission path, so the two
+    # backends must agree exactly at every depth.
+    by_depth = {}
+    for r in results:
+        by_depth.setdefault(r["depth"], set()).add(r["plan_cache_hit_rate"])
+    assert all(len(rates) == 1 for rates in by_depth.values()), by_depth
+
+
+def test_memory_engine_within_perf_budget():
+    """CI perf-regression smoke: the memory engine's cold scheduling
+    pass at 10k queued jobs stays within ``PERF_RATIO_BUDGET``x SQLite.
+
+    Run by the dedicated perf-smoke CI job; apply the `perf-override`
+    PR label to skip the gate for a known, accepted regression.
+    """
+    sqlite = _measure_backend("sqlite", PERF_RATIO_DEPTH, cold_samples=3)
+    memory = _measure_backend("memory", PERF_RATIO_DEPTH, cold_samples=3)
+    ratio = memory["cold_pass_us"] / sqlite["cold_pass_us"]
+    print(
+        f"\ncold pass at {PERF_RATIO_DEPTH} jobs: "
+        f"sqlite {sqlite['cold_pass_us']:.0f} µs, "
+        f"memory {memory['cold_pass_us']:.0f} µs "
+        f"({ratio:.2f}x, budget {PERF_RATIO_BUDGET}x)"
+    )
+    assert ratio <= PERF_RATIO_BUDGET, (
+        f"memory engine regression: {ratio:.2f}x sqlite at "
+        f"{PERF_RATIO_DEPTH} jobs exceeds the {PERF_RATIO_BUDGET}x budget "
+        f"(sqlite {sqlite['cold_pass_us']:.0f} µs, "
+        f"memory {memory['cold_pass_us']:.0f} µs)"
+    )
 
 
 def test_scheduling_pass_backend_comparison(benchmark):

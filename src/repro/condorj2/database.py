@@ -86,6 +86,19 @@ class Database:
         """The engine's LRU prepared-statement cache."""
         return self.engine.statement_cache
 
+    @property
+    def plan_cache(self):
+        """The engine's LRU compiled-plan cache."""
+        return self.engine.plan_cache
+
+    def explain(self, sql: str, params: Sequence[Any] = None):
+        """The engine's chosen plan for ``sql`` (uncounted).
+
+        With ``params``, engines that support profiling execute the
+        statement instrumented — side-effect free — and report actual
+        rows and per-operator timings next to the estimates."""
+        return self.engine.explain(sql, params)
+
     # ------------------------------------------------------------------
     # statement execution
     # ------------------------------------------------------------------

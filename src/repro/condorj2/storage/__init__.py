@@ -35,7 +35,10 @@ from repro.condorj2.storage.engine import (
     StorageEngine,
 )
 from repro.condorj2.storage.memory import MemoryStorageEngine
+from repro.condorj2.storage.planner import ExplainReport, PlanNode
 from repro.condorj2.storage.statements import (
+    CachedPlan,
+    PlanCache,
     PreparedStatement,
     PreparedStatementCache,
 )
@@ -107,9 +110,13 @@ def create_engine(
 
 
 __all__ = [
+    "CachedPlan",
     "DatabaseError",
     "ENGINE_ENV_VAR",
+    "ExplainReport",
     "MemoryStorageEngine",
+    "PlanCache",
+    "PlanNode",
     "PreparedStatement",
     "PreparedStatementCache",
     "SqliteStorageEngine",

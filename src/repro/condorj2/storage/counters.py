@@ -66,6 +66,13 @@ class StatementCounts:
     batches: int = 0
     prepared_hits: int = 0
     prepared_misses: int = 0
+    #: Compiled-plan cache ledger (engine-side plan compilation — the
+    #: memory engine's closure plans, SQLite's natively prepared
+    #: statements).  Admitted by the shared base class, so two backends
+    #: replaying one workload agree on these by construction.
+    plan_hits: int = 0
+    plan_misses: int = 0
+    plan_evictions: int = 0
     #: Per-table row traffic: ``{table: {verb: rows}}`` with lower-cased
     #: verb keys mirroring the scalar counters.
     tables: Dict[str, Dict[str, int]] = field(default_factory=dict)
@@ -105,6 +112,9 @@ class StatementCounts:
             batches=self.batches,
             prepared_hits=self.prepared_hits,
             prepared_misses=self.prepared_misses,
+            plan_hits=self.plan_hits,
+            plan_misses=self.plan_misses,
+            plan_evictions=self.plan_evictions,
             tables={table: dict(verbs) for table, verbs in self.tables.items()},
         )
 
@@ -132,6 +142,9 @@ class StatementCounts:
             batches=self.batches - earlier.batches,
             prepared_hits=self.prepared_hits - earlier.prepared_hits,
             prepared_misses=self.prepared_misses - earlier.prepared_misses,
+            plan_hits=self.plan_hits - earlier.plan_hits,
+            plan_misses=self.plan_misses - earlier.plan_misses,
+            plan_evictions=self.plan_evictions - earlier.plan_evictions,
             tables=tables,
         )
 
@@ -159,6 +172,9 @@ class StatementCounts:
             batches=self.batches + other.batches,
             prepared_hits=self.prepared_hits + other.prepared_hits,
             prepared_misses=self.prepared_misses + other.prepared_misses,
+            plan_hits=self.plan_hits + other.plan_hits,
+            plan_misses=self.plan_misses + other.plan_misses,
+            plan_evictions=self.plan_evictions + other.plan_evictions,
             tables=tables,
         )
 

@@ -32,7 +32,8 @@ from repro.condorj2.storage.counters import (
     statement_table,
     statement_verb,
 )
-from repro.condorj2.storage.statements import PreparedStatementCache
+from repro.condorj2.storage.planner import ExplainReport, PlanNode
+from repro.condorj2.storage.statements import PlanCache, PreparedStatementCache
 
 
 class DatabaseError(Exception):
@@ -57,10 +58,12 @@ class StorageEngine(ABC):
 
     counts: StatementCounts
     statement_cache: PreparedStatementCache
+    plan_cache: PlanCache
 
     def _init_accounting(self, statement_cache_size: int) -> None:
         self.counts = StatementCounts()
         self.statement_cache = PreparedStatementCache(statement_cache_size)
+        self.plan_cache = PlanCache(statement_cache_size)
 
     # -- statement execution -------------------------------------------
     def _admit(self, sql: str) -> None:
@@ -70,13 +73,42 @@ class StorageEngine(ABC):
         else:
             self.counts.prepared_misses += 1
 
+    def _admit_plan(self, sql: str) -> Any:
+        """Look up (or compile and admit) the compiled plan for ``sql``.
+
+        The ledger lives in :class:`StatementCounts` next to the
+        prepared-statement counters; both backends admit through this
+        one code path with an identically sized LRU, so equal workloads
+        produce equal plan-cache counts — the property the differential
+        fuzzer pins.
+        """
+        hit, entry = self.plan_cache.lookup(sql)
+        if hit:
+            self.counts.plan_hits += 1
+            return entry.plan
+        self.counts.plan_misses += 1
+        plan = self._compile_plan(sql)
+        if self.plan_cache.store(sql, plan):
+            self.counts.plan_evictions += 1
+        return plan
+
+    def _compile_plan(self, sql: str) -> Any:
+        """Compile ``sql`` into the engine's executable plan artifact.
+
+        The default models engines that compile natively at prepare time
+        (SQLite): the cached artifact is just the admission marker; the
+        real compiled statement lives in the driver.
+        """
+        return None
+
     def execute(self, sql: str, params: Sequence[Any] = ()) -> Any:
         """Run one counted statement; returns a cursor-like object."""
         self._admit(sql)
         verb = statement_verb(sql)
         self.counts.statements += 1
+        plan = self._admit_plan(sql)
         try:
-            cursor = self._execute_raw(sql, params)
+            cursor = self._execute_raw(sql, params, plan)
         except self.INTEGRITY_ERRORS as exc:
             self.counts.record(verb)
             raise DatabaseError(str(exc)) from exc
@@ -106,8 +138,9 @@ class StorageEngine(ABC):
         self.counts.record(verb, len(materialized))
         self.counts.statements += 1
         self.counts.batches += 1
+        plan = self._admit_plan(sql)
         try:
-            cursor = self._executemany_raw(sql, materialized)
+            cursor = self._executemany_raw(sql, materialized, plan)
         except self.INTEGRITY_ERRORS as exc:
             raise DatabaseError(str(exc)) from exc
         if verb in ("INSERT", "UPDATE", "DELETE"):
@@ -118,16 +151,35 @@ class StorageEngine(ABC):
         return cursor
 
     @abstractmethod
-    def _execute_raw(self, sql: str, params: Sequence[Any]) -> Any:
-        """Execute one statement; returns a cursor-like object."""
+    def _execute_raw(self, sql: str, params: Sequence[Any],
+                     plan: Any = None) -> Any:
+        """Execute one statement; returns a cursor-like object.
+
+        ``plan`` is the artifact `_compile_plan` produced for this SQL
+        (None for engines that compile natively).
+        """
 
     @abstractmethod
-    def _executemany_raw(self, sql: str, rows: Sequence[Sequence[Any]]) -> Any:
+    def _executemany_raw(self, sql: str, rows: Sequence[Sequence[Any]],
+                         plan: Any = None) -> Any:
         """Execute one statement over many parameter rows."""
 
     @abstractmethod
     def run_script(self, statements: Sequence[str]) -> None:
         """Execute uncounted housekeeping DDL (schema creation)."""
+
+    # -- observability --------------------------------------------------
+    def explain(self, sql: str, params: Sequence[Any] = None) -> ExplainReport:
+        """The engine's chosen plan for ``sql`` as a :class:`PlanNode`
+        tree; uncounted.
+
+        With ``params``, engines that can profile execute the statement
+        instrumented (side-effect free — DML is rolled back) and the
+        report carries actual row counts and per-operator timings next
+        to the estimates.
+        """
+        raise NotImplementedError(
+            f"engine {self.name!r} does not support EXPLAIN")
 
     # -- transactions ---------------------------------------------------
     @abstractmethod
@@ -180,17 +232,45 @@ class SqliteStorageEngine(StorageEngine):
     # ------------------------------------------------------------------
     # raw execution hooks
     # ------------------------------------------------------------------
-    def _execute_raw(self, sql: str, params: Sequence[Any]) -> sqlite3.Cursor:
+    def _execute_raw(self, sql: str, params: Sequence[Any],
+                     plan: Any = None) -> sqlite3.Cursor:
         return self._conn.execute(sql, params)
 
     def _executemany_raw(
-        self, sql: str, rows: Sequence[Sequence[Any]]
+        self, sql: str, rows: Sequence[Sequence[Any]], plan: Any = None
     ) -> sqlite3.Cursor:
         return self._conn.executemany(sql, rows)
 
     def run_script(self, statements: Sequence[str]) -> None:
         for statement in statements:
             self._conn.execute(statement)
+
+    def explain(self, sql: str, params: Sequence[Any] = None) -> ExplainReport:
+        """SQLite's own plan via ``EXPLAIN QUERY PLAN``, mapped into the
+        shared :class:`PlanNode` tree (no estimates/timings — SQLite
+        does not expose them here).  Uncounted: observability queries
+        must not perturb the statement accounting the differential
+        fuzzer compares.
+        """
+        bind = params if params is not None else ()
+        try:
+            rows = self._conn.execute(
+                f"EXPLAIN QUERY PLAN {sql}", bind).fetchall()
+        except sqlite3.ProgrammingError:
+            # EXPLAIN QUERY PLAN wants the statement's parameters bound;
+            # when explaining a cached statement text without its
+            # original arguments, bind NULL per placeholder (the plan
+            # shape does not depend on the values).
+            bind = (None,) * sql.count("?")
+            rows = self._conn.execute(
+                f"EXPLAIN QUERY PLAN {sql}", bind).fetchall()
+        nodes = {0: PlanNode(op="STATEMENT", detail=statement_verb(sql))}
+        for row in rows:
+            node = PlanNode(op="STEP", detail=row["detail"])
+            nodes[row["id"]] = node
+            parent = nodes.get(row["parent"], nodes[0])
+            parent.children.append(node)
+        return ExplainReport(sql=sql, engine=self.name, root=nodes[0])
 
     # ------------------------------------------------------------------
     # transactions

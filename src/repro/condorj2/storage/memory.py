@@ -29,11 +29,15 @@ KEY aliases the rowid) and primary-key order for WITHOUT ROWID tables.
 
 from __future__ import annotations
 
+import heapq
 import json
 import re
+import time
+from operator import itemgetter
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.condorj2.schema import TABLE_DEFS, TableDef
+from repro.condorj2.storage import planner as pl
 from repro.condorj2.storage import sqlparser as sp
 from repro.condorj2.storage.engine import StorageEngine
 
@@ -63,6 +67,15 @@ def _numeric_from_text(text: str) -> Optional[float]:
 
 def apply_affinity(value: Any, affinity: str) -> Any:
     """Convert ``value`` as SQLite's column affinity would on write."""
+    # Hot-path exits: text into a TEXT column and ints into numeric
+    # columns (the shapes every indexed probe takes) pass unchanged.
+    kind = type(value)
+    if kind is str:
+        if affinity == "TEXT":
+            return value
+    elif kind is int:
+        if affinity == "INTEGER" or affinity == "NUMERIC":
+            return value
     if value is None:
         return None
     if isinstance(value, bool):
@@ -122,15 +135,21 @@ def _int_truncdiv(a: int, b: int) -> int:
 
 def sql_sort_key(value: Any) -> Tuple[int, Any]:
     """SQLite ordering: NULL < numbers < text."""
+    kind = type(value)  # exact-type dispatch keeps the hot loop cheap
+    if kind is int or kind is float:
+        return (1, value)
+    if kind is str:
+        return (2, value)
     if value is None:
         return (0, 0)
-    if isinstance(value, bool):
+    if kind is bool:
         return (1, int(value))
-    if isinstance(value, (int, float)):
-        return (1, value)
-    if isinstance(value, str):
-        return (2, value)
     return (3, repr(value))
+
+
+#: Shared empty probe result; read-only by the same contract as the
+#: memoized probe lists.
+_EMPTY_ROWS: List[Dict[str, Any]] = []
 
 
 def _is_true(value: Any) -> bool:
@@ -294,6 +313,14 @@ class MemoryTable:
         self.eq_indexes: Dict[str, Dict[Any, set]] = {
             col: {} for col in indexed
         }
+        # Memoized probe results: column -> value -> [sorted keys, rows].
+        # Any write touching a (column, value) bucket pops its entry, so
+        # a cached list is always current; repeated probes (the planner's
+        # drivers and join loops) skip the per-probe sort and row fetch.
+        # Cached lists are shared — callers must not mutate them.
+        self._probe_cache: Dict[str, Dict[Any, List[Any]]] = {
+            col: {} for col in indexed
+        }
         # unique value maps: cols tuple -> values tuple -> rowkey
         self.unique_maps: Dict[Tuple[str, ...], Dict[Tuple[Any, ...], Any]] = {}
         if not self.ipk and tdef.rowid and tdef.primary_key:
@@ -308,23 +335,59 @@ class MemoryTable:
             self._sorted_keys = sorted(self.rows)
         return self._sorted_keys
 
+    def _probe_entry(self, column: str, value: Any) -> Optional[List[Any]]:
+        if value is None:
+            return None
+        value = apply_affinity(value, self.affinities[column])
+        cache = self._probe_cache[column]
+        entry = cache.get(value)
+        if entry is None:
+            bucket = self.eq_indexes[column].get(value)
+            if not bucket:
+                return None
+            entry = cache[value] = [sorted(bucket), None]
+        return entry
+
     def probe(self, column: str, value: Any) -> List[Any]:
         """Rowkeys with ``column == value`` via the equality index.
 
         The column's affinity is applied to the probe value first, as
-        SQLite applies comparison affinity before an index lookup."""
+        SQLite applies comparison affinity before an index lookup.  The
+        returned list is memoized and shared — do not mutate."""
+        entry = self._probe_entry(column, value)
+        return entry[0] if entry is not None else []
+
+    def probe_rows(self, column: str, value: Any) -> List[Dict[str, Any]]:
+        """Rows with ``column == value``, key-ordered; memoized/shared.
+
+        ``_probe_entry`` is inlined — this runs once per outer row in
+        every index-probe join loop."""
         if value is None:
-            return []
-        value = apply_affinity(value, self.affinities[column])
-        bucket = self.eq_indexes[column].get(value)
-        if not bucket:
-            return []
-        return sorted(bucket)
+            return _EMPTY_ROWS
+        affinity = self.affinities[column]
+        kind = type(value)
+        if not (kind is str and affinity == "TEXT") and not (
+            kind is int and (affinity == "INTEGER" or affinity == "NUMERIC")
+        ):
+            value = apply_affinity(value, affinity)
+        cache = self._probe_cache[column]
+        entry = cache.get(value)
+        if entry is None:
+            bucket = self.eq_indexes[column].get(value)
+            if not bucket:
+                return _EMPTY_ROWS
+            entry = cache[value] = [sorted(bucket), None]
+        rows = entry[1]
+        if rows is None:
+            table_rows = self.rows
+            rows = entry[1] = [table_rows[key] for key in entry[0]]
+        return rows
 
     # -- index maintenance ---------------------------------------------
     def _index_add(self, key: Any, row: Dict[str, Any]) -> None:
         for col, index in self.eq_indexes.items():
             index.setdefault(row[col], set()).add(key)
+            self._probe_cache[col].pop(row[col], None)
         for cols, mapping in self.unique_maps.items():
             values = tuple(row[c] for c in cols)
             if any(v is None for v in values):
@@ -338,6 +401,7 @@ class MemoryTable:
                 bucket.discard(key)
                 if not bucket:
                     del index[row[col]]
+            self._probe_cache[col].pop(row[col], None)
         for cols, mapping in self.unique_maps.items():
             values = tuple(row[c] for c in cols)
             if any(v is None for v in values):
@@ -428,17 +492,30 @@ class _Rt:
 class _Scope:
     """Compile-time name resolution: alias -> visible columns (plus the
     column affinities for table sources — subquery and json_each columns
-    have no affinity, exactly as in SQLite)."""
+    have no affinity, exactly as in SQLite).
+
+    Each alias also carries its frame *slot*: runtime environments are
+    flat lists indexed by source position (plus trailing window slots),
+    not per-row dicts, so a compiled column reference is two list
+    indexings and one row lookup."""
 
     def __init__(self, parent: Optional["_Scope"] = None):
         self.parent = parent
         self.aliases: Dict[str, Tuple[str, ...]] = {}
         self.affinities: Dict[str, Optional[Dict[str, str]]] = {}
+        self.slots: Dict[str, int] = {}
 
     def add(self, alias: str, columns: Tuple[str, ...],
-            affinities: Optional[Dict[str, str]] = None) -> None:
+            affinities: Optional[Dict[str, str]] = None,
+            slot: int = 0) -> None:
         self.aliases[alias] = columns
         self.affinities[alias] = affinities
+        self.slots[alias] = slot
+
+    def remove(self, alias: str) -> None:
+        del self.aliases[alias]
+        del self.affinities[alias]
+        del self.slots[alias]
 
     def column_affinity(self, qualifier: Optional[str],
                         name: str) -> Optional[str]:
@@ -460,6 +537,12 @@ class _Scope:
 
     def resolve(self, qualifier: Optional[str], name: str
                 ) -> Tuple[int, str]:
+        depth, alias, _slot = self.resolve_entry(qualifier, name)
+        return depth, alias
+
+    def resolve_entry(self, qualifier: Optional[str], name: str
+                      ) -> Tuple[int, str, int]:
+        """(depth, alias, frame slot) for a column reference."""
         depth, scope = 0, self
         while scope is not None:
             if qualifier is not None:
@@ -468,11 +551,11 @@ class _Scope:
                     if name not in columns:
                         raise MemoryEngineError(
                             f"no such column: {qualifier}.{name}")
-                    return depth, qualifier
+                    return depth, qualifier, scope.slots[qualifier]
             else:
                 for alias, columns in scope.aliases.items():
                     if name in columns:
-                        return depth, alias
+                        return depth, alias, scope.slots[alias]
             depth, scope = depth + 1, scope.parent
         raise MemoryEngineError(
             f"no such column: {(qualifier + '.') if qualifier else ''}{name}")
@@ -482,6 +565,38 @@ def _split_conjuncts(node: Any) -> List[Any]:
     if isinstance(node, sp.Bin) and node.op == "AND":
         return _split_conjuncts(node.left) + _split_conjuncts(node.right)
     return [node] if node is not None else []
+
+
+def _combine_filters(filters: Sequence[Callable]) -> Optional[Callable]:
+    """One boolean check from a compiled conjunct list (None when empty).
+
+    The hot row loops call the combined closure directly instead of
+    spinning up an ``all(...)`` generator per candidate row."""
+    if not filters:
+        return None
+    if len(filters) == 1:
+        fn = filters[0]
+        if getattr(fn, "_strict_bool", False):
+            # Compiled predicates tagged as returning strict 0/1
+            # (EXISTS/semi-join closures) need no truthiness wrapper.
+            return fn
+
+        def check_one(rt):
+            value = fn(rt)  # inlined _is_true: one call/row, not two
+            if type(value) is str:
+                return bool(_numeric_from_text(value))
+            return value is not None and bool(value)
+
+        return check_one
+    fns = tuple(filters)
+
+    def check(rt):
+        for fn in fns:
+            if not _is_true(fn(rt)):
+                return False
+        return True
+
+    return check
 
 
 _BIN_OPS: Dict[str, Callable[[Any, Any], Any]] = {}
@@ -544,25 +659,60 @@ def _register_bin_ops() -> None:
 _register_bin_ops()
 
 
-class _Compiler:
-    """Compiles parsed statements into executable plans over an engine."""
+#: Correlated-EXISTS executions served by the original probing plan
+#: before the decorrelated hash semi-join builds its key set.  Small
+#: outer sides never pay the build; big ones amortize it immediately.
+#: Adaptive because plan statistics are advisory: a plan compiled when a
+#: table was small survives the table growing 1000x.
+_SEMI_JOIN_BUILD_AFTER = 8
 
-    def __init__(self, engine: "MemoryStorageEngine"):
+
+class _Compiler:
+    """Compiles parsed statements into executable plans over an engine.
+
+    ``profiled=True`` compiles the same plan shape with instrumented
+    node classes (per-operator row counts and timings) — used only by
+    ``explain``; cached hot plans carry no instrumentation.
+    """
+
+    def __init__(self, engine: "MemoryStorageEngine", profiled: bool = False):
         self.engine = engine
+        self.profiled = profiled
+        self._source_cls = _ProfiledSourcePlan if profiled else _SourcePlan
+        self._select_cls = _ProfiledSelectPlan if profiled else _SelectPlan
+        #: EXPLAIN registry stack: subplans compiled inside expressions
+        #: (EXISTS, IN (SELECT), scalar subqueries, semi-join builds)
+        #: attach to the select/statement being compiled.
+        self._subs: List[List[Tuple[str, "_SelectPlan"]]] = []
+
+    def _register_sub(self, label: str, subplan: "_SelectPlan") -> None:
+        if self._subs:
+            self._subs[-1].append((label, subplan))
 
     # ------------------------------------------------------------------
     # statements
     # ------------------------------------------------------------------
     def compile(self, ast: Any) -> Any:
-        if isinstance(ast, sp.Select):
-            return _SelectStatement(self.compile_select(ast, None))
-        if isinstance(ast, sp.Insert):
-            return self.compile_insert(ast)
-        if isinstance(ast, sp.Update):
-            return self.compile_update(ast)
-        if isinstance(ast, sp.Delete):
-            return self.compile_delete(ast)
-        raise MemoryEngineError(f"unsupported statement {type(ast).__name__}")
+        # Fresh registry stack per statement: a failed compile must not
+        # leave stale frames behind (the engine reuses one compiler).
+        self._subs = [[]]
+        try:
+            if isinstance(ast, sp.Select):
+                plan: Any = _SelectStatement(self.compile_select(ast, None))
+            elif isinstance(ast, sp.Insert):
+                plan = self.compile_insert(ast)
+            elif isinstance(ast, sp.Update):
+                plan = self.compile_update(ast)
+            elif isinstance(ast, sp.Delete):
+                plan = self.compile_delete(ast)
+            else:
+                raise MemoryEngineError(
+                    f"unsupported statement {type(ast).__name__}")
+        finally:
+            xsubs = self._subs[0]
+            self._subs = []
+        plan.xsubs = xsubs
+        return plan
 
     def _table(self, name: str) -> MemoryTable:
         table = self.engine.tables.get(name)
@@ -600,32 +750,48 @@ class _Compiler:
             if col not in table.columns:
                 raise MemoryEngineError(f"no such column: {ast.table}.{col}")
             sets.append((col, self.compile_expr(expr, scope, stats)))
-        driver, filters = self._compile_single_table_where(
+        driver, filters, est = self._compile_single_table_where(
             table, ast.table, ast.where, scope)
-        return _UpdatePlan(table, ast.table, sets, driver, filters)
+        plan = _UpdatePlan(table, ast.table, sets, driver, filters)
+        plan.est_rows = est
+        return plan
 
     def compile_delete(self, ast: sp.Delete) -> "_DeletePlan":
         table = self._table(ast.table)
         scope = _Scope()
         scope.add(ast.table, table.columns, table.affinities)
-        driver, filters = self._compile_single_table_where(
+        driver, filters, est = self._compile_single_table_where(
             table, ast.table, ast.where, scope)
-        return _DeletePlan(table, ast.table, driver, filters)
+        plan = _DeletePlan(table, ast.table, driver, filters)
+        plan.est_rows = est
+        return plan
 
     def _compile_single_table_where(self, table, alias, where, scope):
+        """Driver selection for single-table DML: price every probe-able
+        conjunct against the live statistics and keep the cheapest; the
+        rest compile to filters, so any choice is correct and a stale
+        estimate can only cost time."""
         conjuncts = _split_conjuncts(where)
         stats = _new_stats()
+        candidates = []
+        infos: Dict[int, Tuple] = {}
+        for position, conjunct in enumerate(conjuncts):
+            info = self._probe_candidate(conjunct, table, alias, scope, set())
+            if info is not None:
+                infos[position] = info
+                candidates.append(pl.DriverCandidate(
+                    position, info[0], info[1],
+                    self._estimate_probe(table, info)))
+        best = pl.choose_driver(candidates)
         driver = None
         filters = []
-        for conjunct in conjuncts:
-            if driver is None:
-                probe = self._try_probe(conjunct, table, alias, scope,
-                                        set(), stats)
-                if probe is not None:
-                    driver = probe
-                    continue
+        for position, conjunct in enumerate(conjuncts):
+            if best is not None and position == best.position:
+                driver = self._compile_probe(infos[position], scope, stats)
+                continue
             filters.append(self.compile_expr(conjunct, scope, stats))
-        return driver, filters
+        est = best.est_rows if best is not None else float(len(table.rows))
+        return driver, filters, est
 
     # ------------------------------------------------------------------
     # SELECT
@@ -634,40 +800,66 @@ class _Compiler:
                        ) -> "_SelectPlan":
         scope = _Scope(parent)
         stats = _new_stats()
+        self._subs.append([])
         source_plans: List[_SourcePlan] = []
         bound: List[str] = []
         for position, src in enumerate(ast.sources):
             plan = self._compile_source(src, scope, bound, position, stats)
             source_plans.append(plan)
-            scope.add(plan.alias, plan.columns, plan.affinities)
+            scope.add(plan.alias, plan.columns, plan.affinities,
+                      slot=position)
             bound.append(plan.alias)
 
         # WHERE: split into pushdown (first source only) and post-join.
+        # Among the pushdown conjuncts, every probe-able one is priced
+        # against the live statistics and the cheapest becomes the scan
+        # driver; the rest stay filters, so the choice is always correct.
         where_conjuncts = _split_conjuncts(ast.where)
         pushdown: List[Callable] = []
         post: List[Callable] = []
         driver = None
+        driver_position = None
         first = source_plans[0] if source_plans else None
-        for conjunct in where_conjuncts:
+        if first is not None and first.kind == "table":
+            candidates = []
+            infos: Dict[int, Tuple] = {}
+            for position, conjunct in enumerate(where_conjuncts):
+                if not (_local_aliases(conjunct, scope) <= {first.alias}):
+                    continue
+                info = self._probe_candidate(
+                    conjunct, first.table, first.alias, scope, set())
+                if info is not None:
+                    infos[position] = info
+                    candidates.append(pl.DriverCandidate(
+                        position, info[0], info[1],
+                        self._estimate_probe(first.table, info)))
+            best = pl.choose_driver(candidates)
+            if best is not None:
+                driver_position = best.position
+                driver = self._compile_probe(
+                    infos[driver_position], scope, stats)
+                first.est_rows = best.est_rows
+        for position, conjunct in enumerate(where_conjuncts):
+            if position == driver_position:
+                continue
             local = _local_aliases(conjunct, scope)
+            cstats = _new_stats()
+            fn = self.compile_expr(conjunct, scope, cstats)
+            stats["outer"] = max(stats["outer"], cstats["outer"])
             if first is not None and local <= {first.alias}:
-                if driver is None and first.kind == "table":
-                    probe = self._try_probe(
-                        conjunct, first.table, first.alias, scope,
-                        set(), stats)
-                    if probe is not None:
-                        driver = probe
-                        continue
-                cstats = _new_stats()
-                pushdown.append(self.compile_expr(conjunct, scope, cstats))
-                stats["outer"] = max(stats["outer"], cstats["outer"])
+                pushdown.append(fn)
             else:
-                cstats = _new_stats()
-                post.append(self.compile_expr(conjunct, scope, cstats))
-                stats["outer"] = max(stats["outer"], cstats["outer"])
+                post.append(fn)
         if first is not None:
             first.driver = driver
             first.pushdown = pushdown
+            first.pushdown_check = _combine_filters(pushdown)
+
+        # ROW_NUMBER windows whose order equals the select's ORDER BY
+        # fuse into the final (top-K) sort: rank = output position.
+        fused_ast_indexes = pl.fusable_window_items(ast)
+        fused_ast_set = set(fused_ast_indexes or ())
+        fused_positions: List[int] = []
 
         # select items (expand stars at compile time)
         item_fns: List[Callable] = []
@@ -676,7 +868,10 @@ class _Compiler:
         windows: List[Tuple[Any, List[Tuple[Callable, bool]]]] = []
         istats = _new_stats()
         istats["windows"] = windows
-        for item in ast.items:
+        istats["win_base"] = len(source_plans)
+        for ast_index, item in enumerate(ast.items):
+            if ast_index in fused_ast_set:
+                fused_positions.append(len(item_fns))
             if isinstance(item.expr, sp.Star):
                 targets = ([item.expr.table] if item.expr.table
                            else [p.alias for p in source_plans])
@@ -745,6 +940,7 @@ class _Compiler:
             expr = rewrite_aliases(expr)
             ostats = _new_stats()
             ostats["windows"] = windows
+            ostats["win_base"] = len(source_plans)
             fn = self.compile_expr(expr, scope, ostats)
             stats["outer"] = max(stats["outer"], ostats["outer"])
             if ostats["agg"]:
@@ -766,7 +962,7 @@ class _Compiler:
         for index, name in enumerate(names):
             lookup.setdefault(name, index)
 
-        return _SelectPlan(
+        plan = self._select_cls(
             sources=source_plans,
             post_where=post,
             item_fns=item_fns,
@@ -780,16 +976,26 @@ class _Compiler:
             has_agg=has_agg,
             windows=windows,
             outer_depth=stats["outer"],
+            fused=(fused_positions
+                   if fused_positions and not has_agg else None),
         )
+        plan.xsubs = self._subs.pop()
+        est = source_plans[0].est_rows if source_plans else 1.0
+        if isinstance(ast.limit, sp.Lit) and isinstance(
+                ast.limit.value, (int, float)):
+            est = min(est, float(ast.limit.value))
+        plan.est_rows = est
+        return plan
 
     def _compile_source(self, src: sp.Source, scope: _Scope,
                         bound: List[str], position: int,
                         stats: Dict) -> "_SourcePlan":
         if src.kind == "table":
             table = self._table(src.name)
-            plan = _SourcePlan(src.alias, "table", src.join,
-                               table=table, columns=table.columns)
+            plan = self._source_cls(src.alias, "table", src.join,
+                                    table=table, columns=table.columns)
             plan.affinities = table.affinities
+            plan.est_rows = float(len(table.rows))
         elif src.kind == "subquery":
             sub = self.compile_select(src.subquery, scope.parent)
             if sub.correlated:
@@ -799,14 +1005,16 @@ class _Compiler:
                 # cache in _SourcePlan.base_rows.
                 raise MemoryEngineError(
                     "correlated subquery in FROM is outside the dialect")
-            plan = _SourcePlan(src.alias, "subquery", src.join,
-                               subplan=sub, columns=sub.names)
+            plan = self._source_cls(src.alias, "subquery", src.join,
+                                    subplan=sub, columns=sub.names)
+            plan.est_rows = sub.est_rows
         else:  # json_each
             arg_fn = self.compile_expr(src.arg, scope, stats)
-            plan = _SourcePlan(src.alias, "json_each", src.join,
-                               arg_fn=arg_fn, columns=("key", "value"))
+            plan = self._source_cls(src.alias, "json_each", src.join,
+                                    arg_fn=arg_fn, columns=("key", "value"))
         if src.on is not None:
-            scope.add(plan.alias, plan.columns, plan.affinities)  # for ON
+            scope.add(plan.alias, plan.columns, plan.affinities,
+                      slot=position)  # temporarily visible for ON
             conjuncts = _split_conjuncts(src.on)
             residual = []
             for conjunct in conjuncts:
@@ -818,19 +1026,25 @@ class _Compiler:
                         continue
                 residual.append(self.compile_expr(conjunct, scope, stats))
             plan.residual_on = residual
-            del scope.aliases[plan.alias]  # re-added by caller in order
-            del scope.affinities[plan.alias]
+            plan.residual_check = _combine_filters(residual)
+            scope.remove(plan.alias)  # re-added by caller in order
+            if plan.kind == "table" and plan.probe is not None \
+                    and plan.probe[0] == "index":
+                table = plan.table
+                column = plan.probe[1]
+                plan.est_rows = pl.estimate_eq_rows(
+                    len(table.rows), len(table.eq_indexes.get(column, ())),
+                    self._is_unique_column(table, column))
         return plan
 
     # -- probe extraction ----------------------------------------------
-    def _try_probe(self, conjunct: Any, table: MemoryTable, alias: str,
-                   scope: _Scope, allowed_local: set,
-                   stats: Dict) -> Optional[Tuple]:
-        """WHERE-clause driver: `alias.col = expr` or `alias.col IN (...)`
-        with ``expr`` free of disallowed local references.
-
-        Probe expressions are compiled against the caller's ``stats`` so
-        outer-scope references keep marking the select as correlated."""
+    def _probe_candidate(self, conjunct: Any, table: MemoryTable,
+                         alias: str, scope: _Scope,
+                         allowed_local: set) -> Optional[Tuple]:
+        """Detect a WHERE-clause driver shape without compiling it:
+        `alias.col = expr` or `alias.col IN (...)` with ``expr`` free of
+        disallowed local references.  Returns ``(kind, column, payload
+        AST)`` for :meth:`_estimate_probe` / :meth:`_compile_probe`."""
         if isinstance(conjunct, sp.Bin) and conjunct.op == "=":
             for col_side, other in ((conjunct.left, conjunct.right),
                                     (conjunct.right, conjunct.left)):
@@ -839,8 +1053,7 @@ class _Compiler:
                     continue
                 if _local_aliases(other, scope) - allowed_local:
                     continue
-                fn = self.compile_expr(other, scope, stats)
-                return ("eq", column, fn)
+                return ("eq", column, other)
         if isinstance(conjunct, (sp.InList, sp.InSelect)) and not conjunct.negated:
             column = self._probe_column(conjunct.needle, table, alias, scope)
             if column is None:
@@ -848,14 +1061,61 @@ class _Compiler:
             if isinstance(conjunct, sp.InList):
                 if any(_local_aliases(i, scope) for i in conjunct.items):
                     return None
-                member_fns = [self.compile_expr(i, scope, stats)
-                              for i in conjunct.items]
-                return ("in-list", column, member_fns)
+                return ("in-list", column, conjunct.items)
             if _select_is_correlated(conjunct.select):
                 return None
-            sub = self.compile_select(conjunct.select, scope)
-            return ("in-select", column, sub)
+            return ("in-select", column, conjunct.select)
         return None
+
+    @staticmethod
+    def _is_unique_column(table: MemoryTable, column: str) -> bool:
+        if table.ipk == column:
+            return True
+        if len(table.tdef.primary_key) == 1 \
+                and table.tdef.primary_key[0] == column:
+            return True
+        return any(len(cols) == 1 and cols[0] == column
+                   for cols in table.tdef.unique)
+
+    def _estimate_probe(self, table: MemoryTable,
+                        candidate: Tuple) -> float:
+        """Expected driven rows for a probe candidate, from the live
+        table statistics (row count, per-index distinct count)."""
+        kind, column, payload = candidate
+        rows = len(table.rows)
+        eq_est = pl.estimate_eq_rows(
+            rows, len(table.eq_indexes.get(column, ())),
+            self._is_unique_column(table, column))
+        if kind == "eq":
+            return eq_est
+        if kind == "in-list":
+            return min(float(rows), eq_est * max(1, len(payload)))
+        # in-select: probe once per distinct subquery value; estimate the
+        # value count from the subquery's first table source.
+        sub_rows = float(rows)
+        if payload.sources:
+            src = payload.sources[0]
+            if src.kind == "table":
+                sub_table = self.engine.tables.get(src.name)
+                if sub_table is not None:
+                    sub_rows = float(len(sub_table.rows))
+        return min(float(rows), eq_est * sub_rows)
+
+    def _compile_probe(self, candidate: Tuple, scope: _Scope,
+                       stats: Dict) -> Tuple:
+        """Compile a probe candidate into the executable driver tuple.
+
+        Probe expressions are compiled against the caller's ``stats`` so
+        outer-scope references keep marking the select as correlated."""
+        kind, column, payload = candidate
+        if kind == "eq":
+            return ("eq", column, self.compile_expr(payload, scope, stats))
+        if kind == "in-list":
+            return ("in-list", column,
+                    [self.compile_expr(i, scope, stats) for i in payload])
+        sub = self.compile_select(payload, scope)
+        self._register_sub("IN-SELECT DRIVER", sub)
+        return ("in-select", column, sub)
 
     def _probe_column(self, node: Any, table: MemoryTable, alias: str,
                       scope: _Scope) -> Optional[str]:
@@ -899,6 +1159,106 @@ class _Compiler:
                 return ("hash", col_side.name, fn)
         return None
 
+    # -- correlated EXISTS -> hash semi-join ---------------------------
+    def _compile_semi_join(self, select: sp.Select, scope: _Scope,
+                           stats: Dict) -> Optional[Tuple]:
+        """Compile the decorrelated form of a correlated EXISTS.
+
+        Returns ``(build_key_fn, probe_fn)`` — build the subquery's key
+        set once, then answer each EXISTS with an O(1) set probe — or
+        None when :func:`planner.decorrelate_exists` declines.  The pair
+        coercions mirror ``_affinity_wrap`` so the set probe agrees with
+        SQLite's comparison affinity, and key normalization keeps the
+        number/text classes separate exactly as ``_sql_eq`` does.
+        """
+        own_columns: Dict[str, Tuple[str, ...]] = {}
+        own_tables: Dict[str, MemoryTable] = {}
+        for src in select.sources:
+            if src.kind != "table":
+                return None
+            table = self.engine.tables.get(src.name)
+            if table is None:
+                return None
+            alias = src.alias or src.name
+            own_columns[alias] = table.columns
+            own_tables[alias] = table
+        row_counts = {alias: float(len(table.rows))
+                      for alias, table in own_tables.items()}
+        deco = pl.decorrelate_exists(select, own_columns, row_counts)
+        if deco is None:
+            return None
+        build_plan = self.compile_select(deco.build_select, scope)
+        if build_plan.correlated:
+            return None  # safety net: residual snuck in an outer ref
+        self._register_sub("SEMI-JOIN BUILD", build_plan)
+
+        def local_affinity(expr: Any) -> Optional[str]:
+            if not isinstance(expr, sp.Col):
+                return None
+            if expr.table is not None:
+                owner = own_tables.get(expr.table)
+            else:
+                owner = next(
+                    (own_tables[a] for a, cols in own_columns.items()
+                     if expr.name in cols), None)
+            return owner.affinities.get(expr.name) if owner else None
+
+        probe_parts: List[Tuple[Callable, Optional[Callable]]] = []
+        build_coerces: List[Optional[Callable]] = []
+        for local_expr, outer_expr in deco.pairs:
+            local_aff = local_affinity(local_expr)
+            outer_aff = self._operand_affinity(outer_expr, scope)
+            co_local = co_outer = None
+            if local_aff in _NUMERIC_AFFINITIES \
+                    and outer_aff not in _NUMERIC_AFFINITIES:
+                co_outer = _coerce_numeric
+            elif outer_aff in _NUMERIC_AFFINITIES \
+                    and local_aff not in _NUMERIC_AFFINITIES:
+                co_local = _coerce_numeric
+            elif local_aff == "TEXT" and outer_aff is None:
+                co_outer = _coerce_text
+            elif outer_aff == "TEXT" and local_aff is None:
+                co_local = _coerce_text
+            outer_fn = self.compile_expr(outer_expr, scope, stats)
+            probe_parts.append((outer_fn, co_outer))
+            build_coerces.append(co_local)
+
+        if len(probe_parts) == 1:
+            outer_fn, co_outer = probe_parts[0]
+            co_local = build_coerces[0]
+
+            def build_one(rt):
+                return build_plan.first_column_set(rt, co_local)
+
+            def probe_one(rt):
+                value = outer_fn(rt)
+                if value is None:
+                    return None
+                if co_outer is not None:
+                    value = co_outer(value)
+                return _probe_norm(value)
+
+            return build_one, probe_one
+
+        coerces = tuple(build_coerces)
+        parts = tuple(probe_parts)
+
+        def build_many(rt):
+            return build_plan.key_tuple_set(rt, coerces)
+
+        def probe_many(rt):
+            key = []
+            for outer_fn, co_outer in parts:
+                value = outer_fn(rt)
+                if value is None:
+                    return None
+                if co_outer is not None:
+                    value = co_outer(value)
+                key.append(_probe_norm(value))
+            return tuple(key)
+
+        return build_many, probe_many
+
     # ------------------------------------------------------------------
     # expressions
     # ------------------------------------------------------------------
@@ -922,15 +1282,15 @@ class _Compiler:
                 return rt.named[_n]
             return named_fn
         if isinstance(node, sp.Col):
-            depth, alias = scope.resolve(node.table, node.name)
+            depth, alias, slot = scope.resolve_entry(node.table, node.name)
             if depth > 0:
                 stats["outer"] = max(stats["outer"], depth)
             else:
                 stats["local"].add(alias)
             index = -1 - depth
             name = node.name
-            def col_fn(rt, _i=index, _a=alias, _n=name):
-                row = rt.frames[_i][_a]
+            def col_fn(rt, _i=index, _s=slot, _n=name):
+                row = rt.frames[_i][_s]
                 return row[_n] if row is not None else None
             return col_fn
         if isinstance(node, sp.Bin):
@@ -1047,6 +1407,8 @@ class _Compiler:
         if isinstance(node, sp.InSelect):
             needle = self.compile_expr(node.needle, scope, stats)
             sub = self.compile_select(node.select, scope)
+            self._register_sub("NOT-IN-SELECT" if node.negated
+                               else "IN-SELECT", sub)
             stats["outer"] = max(stats["outer"], sub.outer_depth - 1)
             negated = node.negated
             needle_aff = self._operand_affinity(node.needle, scope)
@@ -1074,19 +1436,50 @@ class _Compiler:
             sub = self.compile_select(node.select, scope)
             stats["outer"] = max(stats["outer"], sub.outer_depth - 1)
             negated = node.negated
+            label = "NOT-EXISTS" if negated else "EXISTS"
             key = id(node)
-            def exists_fn(rt):
-                if sub.correlated:
-                    found = sub.any(rt)
-                else:
+            if not sub.correlated:
+                self._register_sub(label, sub)
+                def exists_fn(rt):
                     found = rt.cache.get(key)
                     if found is None:
                         found = sub.any(rt)
                         rt.cache[key] = found
+                    return int((not found) if negated else found)
+                exists_fn._strict_bool = True
+                return exists_fn
+            semi = self._compile_semi_join(node.select, scope, stats)
+            if semi is None:
+                self._register_sub(label, sub)
+                def exists_corr_fn(rt):
+                    found = sub.any(rt)
+                    return int((not found) if negated else found)
+                exists_corr_fn._strict_bool = True
+                return exists_corr_fn
+            build_key_fn, probe_fn = semi
+            self._register_sub(label + " PROBE", sub)
+            counter_key = (key, "calls")
+            def semi_fn(rt):
+                members = rt.cache.get(key)
+                if members is None:
+                    calls = rt.cache.get(counter_key, 0)
+                    if calls < _SEMI_JOIN_BUILD_AFTER:
+                        rt.cache[counter_key] = calls + 1
+                        found = sub.any(rt)
+                        return int((not found) if negated else found)
+                    members = rt.cache[key] = build_key_fn(rt)
+                if not members:
+                    # No subquery row has all-non-NULL keys: EXISTS is
+                    # false for every probe, NULL or not.
+                    return 1 if negated else 0
+                probe = probe_fn(rt)
+                found = probe is not None and probe in members
                 return int((not found) if negated else found)
-            return exists_fn
+            semi_fn._strict_bool = True
+            return semi_fn
         if isinstance(node, sp.ScalarSelect):
             sub = self.compile_select(node.select, scope)
+            self._register_sub("SCALAR-SELECT", sub)
             stats["outer"] = max(stats["outer"], sub.outer_depth - 1)
             def scalar_fn(rt):
                 rows = sub.execute(rt)
@@ -1100,9 +1493,9 @@ class _Compiler:
                      for e, desc in node.order_by]
             wid = len(stats["windows"])
             stats["windows"].append(order)
-            key = ("#win", wid)
-            def window_fn(rt, _k=key):
-                return rt.frames[-1][_k]
+            slot = stats["win_base"] + wid
+            def window_fn(rt, _s=slot):
+                return rt.frames[-1][_s]
             return window_fn
         if isinstance(node, sp.Func):
             return self._compile_func(node, scope, stats)
@@ -1208,7 +1601,10 @@ def _new_stats() -> Dict[str, Any]:
     # subquery's depth-1 references resolve to *this* select's frame, so
     # crossing a select boundary decrements the depth by one — only
     # depth >= 1 after that still escapes this select.
-    return {"agg": False, "outer": 0, "local": set(), "windows": []}
+    # "win_base" is the first window slot in the flat environment list:
+    # source rows occupy slots [0, len(sources)), window values follow.
+    return {"agg": False, "outer": 0, "local": set(), "windows": [],
+            "win_base": 0}
 
 
 def _wrap(fn: Callable, coerce: Callable) -> Callable:
@@ -1390,8 +1786,11 @@ class _SourcePlan:
         self.affinities: Optional[Dict[str, str]] = None
         self.probe: Optional[Tuple] = None       # join access path
         self.residual_on: List[Callable] = []
+        self.residual_check: Optional[Callable] = None
         self.driver: Optional[Tuple] = None      # first-source WHERE driver
         self.pushdown: List[Callable] = []
+        self.pushdown_check: Optional[Callable] = None
+        self.est_rows: Optional[float] = None    # advisory, compile-time
 
     # -- row production -------------------------------------------------
     def base_rows(self, rt: _Rt) -> List[Dict[str, Any]]:
@@ -1422,23 +1821,20 @@ class _SourcePlan:
         kind, column, payload = self.driver
         table = self.table
         if kind == "eq":
-            value = payload(rt)
-            keys = table.probe(column, value)
-        elif kind == "in-list":
+            return table.probe_rows(column, payload(rt))
+        if kind == "in-list":
             found = set()
             for fn in payload:
                 value = fn(rt)
                 if value is not None:
                     found.update(table.probe(column, value))
-            keys = sorted(found)
         else:  # in-select
-            members = payload.first_column_values(rt)
             found = set()
-            for value in members:
+            for value in payload.first_column_values(rt):
                 if value is not None:
                     found.update(table.probe(column, value))
-            keys = sorted(found)
-        return [table.rows[key] for key in keys]
+        rows = table.rows
+        return [rows[key] for key in sorted(found)]
 
     def joined_rows(self, rt: _Rt) -> List[Dict[str, Any]]:
         """Candidate rows for a joined source given the bound frames."""
@@ -1446,9 +1842,7 @@ class _SourcePlan:
             return self.base_rows(rt)
         kind, column, fn = self.probe
         if kind == "index":
-            value = fn(rt)
-            keys = self.table.probe(column, value)
-            return [self.table.rows[key] for key in keys]
+            return self.table.probe_rows(column, fn(rt))
         # hash join over a materialized source
         cache_key = (id(self), "hash")
         buckets = rt.cache.get(cache_key)
@@ -1466,14 +1860,34 @@ class _SourcePlan:
         return buckets.get(_probe_norm(value), [])
 
 
+def _make_sort_key(fns: Tuple[Callable, ...]) -> Callable:
+    """A closure computing the full ORDER BY key tuple for the current
+    environment (specialized for the common 1- and 2-key shapes)."""
+    if len(fns) == 1:
+        f0 = fns[0]
+        return lambda rt: (sql_sort_key(f0(rt)),)
+    if len(fns) == 2:
+        f0, f1 = fns
+        return lambda rt: (sql_sort_key(f0(rt)), sql_sort_key(f1(rt)))
+    return lambda rt: tuple(sql_sort_key(fn(rt)) for fn in fns)
+
+
 class _SelectPlan:
-    """A compiled SELECT: row pipeline + projection."""
+    """A compiled SELECT: row pipeline + projection.
+
+    Runtime environments are flat lists: slots ``[0, len(sources))``
+    hold the current row dict per source (None under an unmatched LEFT
+    JOIN), slots ``[win_base, win_base + len(windows))`` hold computed
+    window values.  A compiled column reference is therefore two list
+    indexings and one dict lookup — no per-row dict allocation.
+    """
 
     def __init__(self, sources, post_where, item_fns, names, lookup,
                  group_fns, having_fn, order_specs, limit_fn, distinct,
-                 has_agg, windows, outer_depth):
+                 has_agg, windows, outer_depth, fused=None):
         self.sources = sources
         self.post_where = post_where
+        self.where_check = _combine_filters(post_where)
         self.item_fns = item_fns
         self.names = names
         self.lookup = lookup
@@ -1485,15 +1899,30 @@ class _SelectPlan:
         self.has_agg = has_agg
         self.windows = windows
         self.outer_depth = outer_depth
+        self.win_base = len(sources)
+        self.env_width = len(sources) + len(windows)
+        #: item positions whose ROW_NUMBER fuses with the final sort
+        #: (rank == output position); None -> general path
+        self.fused = fused
+        self.est_rows: Optional[float] = None
+        self.xsubs: List[Tuple[str, "_SelectPlan"]] = []
         #: references escape this select's own frame
         self.correlated = outer_depth >= 1
         self._needs_buffer = bool(
             windows or group_fns or has_agg or order_specs or distinct
         )
+        if fused:
+            fused_set = set(fused)
+            self._plain_items = tuple(
+                (index, fn) for index, fn in enumerate(item_fns)
+                if index not in fused_set)
+            self._order_descs = tuple(desc for _, desc in order_specs)
+            self._order_key = _make_sort_key(
+                tuple(fn for fn, _ in order_specs))
 
     # -- env production -------------------------------------------------
     def _stream(self, rt: _Rt):
-        env: Dict[str, Any] = {}
+        env: List[Any] = [None] * self.env_width
         rt.frames.append(env)
         try:
             if not self.sources:
@@ -1503,47 +1932,49 @@ class _SelectPlan:
         finally:
             rt.frames.pop()
 
-    def _level(self, index: int, env: Dict[str, Any], rt: _Rt):
+    def _level(self, index: int, env: List[Any], rt: _Rt):
         src = self.sources[index]
         last = index == len(self.sources) - 1
         if index == 0:
-            rows = src.first_rows(rt)
-            for row in rows:
-                env[src.alias] = row
-                if all(_is_true(fn(rt)) for fn in src.pushdown):
+            check = src.pushdown_check
+            for row in src.first_rows(rt):
+                env[0] = row
+                if check is None or check(rt):
                     if last:
                         yield env
                     else:
-                        yield from self._level(index + 1, env, rt)
+                        yield from self._level(1, env, rt)
             return
         rows = src.joined_rows(rt)
+        check = src.residual_check
         if src.join == "left":
             matched = False
             for row in rows:
-                env[src.alias] = row
-                if all(_is_true(fn(rt)) for fn in src.residual_on):
+                env[index] = row
+                if check is None or check(rt):
                     matched = True
                     if last:
                         yield env
                     else:
                         yield from self._level(index + 1, env, rt)
             if not matched:
-                env[src.alias] = None
+                env[index] = None
                 if last:
                     yield env
                 else:
                     yield from self._level(index + 1, env, rt)
             return
         for row in rows:
-            env[src.alias] = row
-            if all(_is_true(fn(rt)) for fn in src.residual_on):
+            env[index] = row
+            if check is None or check(rt):
                 if last:
                     yield env
                 else:
                     yield from self._level(index + 1, env, rt)
 
     def _passes_where(self, rt: _Rt) -> bool:
-        return all(_is_true(fn(rt)) for fn in self.post_where)
+        check = self.where_check
+        return check is None or check(rt)
 
     def _limit(self, rt: _Rt) -> Optional[int]:
         if self.limit_fn is None:
@@ -1557,13 +1988,16 @@ class _SelectPlan:
     # -- execution ------------------------------------------------------
     def execute(self, rt: _Rt) -> List[MemoryRow]:
         limit = self._limit(rt)
+        if self.fused is not None:
+            return self._execute_fused(rt, limit)
         if not self._needs_buffer:
             outputs: List[MemoryRow] = []
             if limit == 0:
                 return outputs
+            check = self.where_check
             stream = self._stream(rt)
             for env in stream:
-                if not self._passes_where(rt):
+                if check is not None and not check(rt):
                     continue
                 values = tuple(fn(rt) for fn in self.item_fns)
                 outputs.append(MemoryRow(self.names, values, self.lookup))
@@ -1572,10 +2006,11 @@ class _SelectPlan:
                     break
             return outputs
 
-        envs: List[Dict[str, Any]] = []
+        check = self.where_check
+        envs: List[List[Any]] = []
         for env in self._stream(rt):
-            if self._passes_where(rt):
-                envs.append(dict(env))
+            if check is None or check(rt):
+                envs.append(env.copy())
         self._apply_windows(envs, rt)
 
         decorated: List[Tuple[Tuple, List]] = []  # (values, order keys)
@@ -1613,7 +2048,131 @@ class _SelectPlan:
         return [MemoryRow(self.names, values, self.lookup)
                 for values, _ in decorated]
 
-    def _apply_windows(self, envs: List[Dict[str, Any]], rt: _Rt) -> None:
+    def _execute_fused(self, rt: _Rt, limit: Optional[int]
+                       ) -> List[MemoryRow]:
+        """Single-sort path for ROW_NUMBER windows fused with the outer
+        ORDER BY: rank == output position, so environments are never
+        buffered — each streamed row reduces to (sort key, values)."""
+        if limit == 0:
+            return []
+        check = self.where_check
+        key_of = self._order_key
+        plain = self._plain_items
+        width = len(self.item_fns)
+        decorated: List[Tuple[Tuple, List[Any]]] = []
+        append = decorated.append
+        sources = self.sources
+        if 1 <= len(sources) <= 2 and all(
+            src.join == "inner" for src in sources[1:]
+        ):
+            # The dominant fused shapes (driver scan/probe, optionally
+            # one inner index/hash join) run as plain nested loops —
+            # no generator resumption per candidate row.
+            first = sources[0]
+            first_check = first.pushdown_check
+            second = sources[1] if len(sources) == 2 else None
+            env: List[Any] = [None] * self.env_width
+            rt.frames.append(env)
+            try:
+                if second is None:
+                    for row in first.first_rows(rt):
+                        env[0] = row
+                        if first_check is not None and not first_check(rt):
+                            continue
+                        if check is not None and not check(rt):
+                            continue
+                        values = [None] * width
+                        for index, fn in plain:
+                            values[index] = fn(rt)
+                        append((key_of(rt), values))
+                else:
+                    second_check = second.residual_check
+                    solo = plain[0] if len(plain) == 1 else None
+                    probe = second.probe
+                    if probe is not None and probe[0] == "index":
+                        # Pre-bound index probe: the inner loop calls
+                        # the memoized table probe directly instead of
+                        # dispatching through joined_rows per outer row.
+                        _, probe_col, probe_fn = probe
+                        probe_table_rows = second.table.probe_rows
+                        for row in first.first_rows(rt):
+                            env[0] = row
+                            if first_check is not None and \
+                                    not first_check(rt):
+                                continue
+                            for joined in probe_table_rows(
+                                    probe_col, probe_fn(rt)):
+                                env[1] = joined
+                                if second_check is not None and \
+                                        not second_check(rt):
+                                    continue
+                                if check is not None and not check(rt):
+                                    continue
+                                values = [None] * width
+                                if solo is not None:
+                                    values[solo[0]] = solo[1](rt)
+                                else:
+                                    for index, fn in plain:
+                                        values[index] = fn(rt)
+                                append((key_of(rt), values))
+                    else:
+                        for row in first.first_rows(rt):
+                            env[0] = row
+                            if first_check is not None and \
+                                    not first_check(rt):
+                                continue
+                            for joined in second.joined_rows(rt):
+                                env[1] = joined
+                                if second_check is not None and \
+                                        not second_check(rt):
+                                    continue
+                                if check is not None and not check(rt):
+                                    continue
+                                values = [None] * width
+                                if solo is not None:
+                                    values[solo[0]] = solo[1](rt)
+                                else:
+                                    for index, fn in plain:
+                                        values[index] = fn(rt)
+                                append((key_of(rt), values))
+            finally:
+                rt.frames.pop()
+        else:
+            for _env in self._stream(rt):
+                if check is not None and not check(rt):
+                    continue
+                values = [None] * width
+                for index, fn in plain:
+                    values[index] = fn(rt)
+                append((key_of(rt), values))
+        descs = self._order_descs
+        if not any(descs):
+            if limit is not None:
+                # Top-K selection; nsmallest is stable (equivalent to
+                # sorted(...)[:k]), so ties keep stream order exactly
+                # like the general path's stable sorts.
+                decorated = heapq.nsmallest(
+                    limit, decorated, key=itemgetter(0))
+            else:
+                decorated.sort(key=itemgetter(0))
+        else:
+            for position in range(len(descs) - 1, -1, -1):
+                decorated.sort(
+                    key=lambda pair, _p=position: pair[0][_p],
+                    reverse=descs[position])
+            if limit is not None:
+                decorated = decorated[:limit]
+        fused = self.fused
+        names, lookup = self.names, self.lookup
+        outputs = []
+        for rank, (_key, values) in enumerate(decorated, start=1):
+            for position in fused:
+                values[position] = rank
+            outputs.append(MemoryRow(names, tuple(values), lookup))
+        return outputs
+
+    def _apply_windows(self, envs: List[List[Any]], rt: _Rt) -> None:
+        win_base = self.win_base
         for wid, order in enumerate(self.windows):
             ranked = list(range(len(envs)))
             keyed: List[List[Any]] = []
@@ -1630,11 +2189,10 @@ class _SelectPlan:
                     reverse=descending,
                 )
             for rank, env_index in enumerate(ranked, start=1):
-                envs[env_index][("#win", wid)] = rank
+                envs[env_index][win_base + wid] = rank
 
     def _grouped_outputs(self, envs, rt: _Rt):
-        aliases = [src.alias for src in self.sources]
-        groups: Dict[Tuple, List[Dict[str, Any]]] = {}
+        groups: Dict[Tuple, List[List[Any]]] = {}
         for env in envs:
             rt.frames.append(env)
             try:
@@ -1647,7 +2205,7 @@ class _SelectPlan:
         decorated = []
         for key in sorted(groups):
             members = groups[key]
-            head = members[0] if members else {a: None for a in aliases}
+            head = members[0] if members else [None] * self.env_width
             rt.frames.append(head)
             rt.group = members
             try:
@@ -1675,12 +2233,31 @@ class _SelectPlan:
             _probe_norm(value) for value in values if value is not None
         )
 
+    def key_tuple_set(self, rt: _Rt,
+                      coerces: Sequence[Optional[Callable]]) -> frozenset:
+        """Normalized key tuples over the first len(coerces) columns,
+        dropping rows with any NULL key (semi-join build side)."""
+        result = set()
+        for row in self.execute(rt):
+            key = []
+            for index, coerce in enumerate(coerces):
+                value = row[index]
+                if value is None:
+                    break
+                if coerce is not None:
+                    value = coerce(value)
+                key.append(_probe_norm(value))
+            else:
+                result.add(tuple(key))
+        return frozenset(result)
+
     def any(self, rt: _Rt) -> bool:
         if self._needs_buffer:
             return bool(self.execute(rt))
+        check = self.where_check
         stream = self._stream(rt)
         for _env in stream:
-            if self._passes_where(rt):
+            if check is None or check(rt):
                 stream.close()
                 return True
         return False
@@ -1740,16 +2317,22 @@ class _UpdatePlan:
         self.sets = sets
         self.driver = driver
         self.filters = filters
+        self.check = _combine_filters(filters)
+        self.est_rows: Optional[float] = None
 
     def _matched_keys(self, rt: _Rt, table: MemoryTable) -> List[Any]:
-        env: Dict[str, Any] = {}
+        env: List[Any] = [None]
         rt.frames.append(env)
+        check = self.check
         try:
             keys = _driver_keys(self.driver, table, rt)
+            if check is None:
+                return list(keys)
             matched = []
+            rows = table.rows
             for key in keys:
-                env[self.alias] = table.rows[key]
-                if all(_is_true(fn(rt)) for fn in self.filters):
+                env[0] = rows[key]
+                if check(rt):
                     matched.append(key)
             return matched
         finally:
@@ -1758,11 +2341,11 @@ class _UpdatePlan:
     def run(self, engine: "MemoryStorageEngine", rt: _Rt) -> MemoryCursor:
         table = self.table
         matched = self._matched_keys(rt, table)
-        env: Dict[str, Any] = {}
+        env: List[Any] = [None]
         rt.frames.append(env)
         try:
             for key in matched:
-                env[self.alias] = table.rows[key]
+                env[0] = table.rows[key]
                 changes = {col: fn(rt) for col, fn in self.sets}
                 engine._update_row(table, key, changes)
         finally:
@@ -1779,18 +2362,25 @@ class _DeletePlan:
         self.alias = alias
         self.driver = driver
         self.filters = filters
+        self.check = _combine_filters(filters)
+        self.est_rows: Optional[float] = None
 
     def run(self, engine: "MemoryStorageEngine", rt: _Rt) -> MemoryCursor:
         table = self.table
-        env: Dict[str, Any] = {}
+        env: List[Any] = [None]
         rt.frames.append(env)
+        check = self.check
         try:
             keys = _driver_keys(self.driver, table, rt)
-            matched = []
-            for key in keys:
-                env[self.alias] = table.rows[key]
-                if all(_is_true(fn(rt)) for fn in self.filters):
-                    matched.append(key)
+            if check is None:
+                matched = list(keys)
+            else:
+                matched = []
+                rows = table.rows
+                for key in keys:
+                    env[0] = rows[key]
+                    if check(rt):
+                        matched.append(key)
         finally:
             rt.frames.pop()
         for key in matched:
@@ -1820,6 +2410,165 @@ def _driver_keys(driver: Optional[Tuple], table: MemoryTable,
 
 
 # ----------------------------------------------------------------------
+# profiled plan nodes and the EXPLAIN tree
+# ----------------------------------------------------------------------
+
+class _ProfiledSourcePlan(_SourcePlan):
+    """Source plan with per-operator row/loop/time accounting.  Only
+    ``explain`` compiles these — cached hot plans stay uninstrumented,
+    so profiling has zero cost on the serving path."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.prof = {"rows": 0, "loops": 0, "seconds": 0.0}
+
+    def _timed(self, producer, rt):
+        start = time.perf_counter()
+        rows = producer(rt)
+        prof = self.prof
+        prof["seconds"] += time.perf_counter() - start
+        prof["loops"] += 1
+        prof["rows"] += len(rows)
+        return rows
+
+    def first_rows(self, rt: _Rt) -> List[Dict[str, Any]]:
+        return self._timed(super().first_rows, rt)
+
+    def joined_rows(self, rt: _Rt) -> List[Dict[str, Any]]:
+        return self._timed(super().joined_rows, rt)
+
+
+class _ProfiledSelectPlan(_SelectPlan):
+    """Select plan with whole-operator accounting (see above)."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.prof = {"rows": 0, "loops": 0, "seconds": 0.0}
+
+    def execute(self, rt: _Rt) -> List[MemoryRow]:
+        start = time.perf_counter()
+        rows = super().execute(rt)
+        prof = self.prof
+        prof["seconds"] += time.perf_counter() - start
+        prof["loops"] += 1
+        prof["rows"] += len(rows)
+        return rows
+
+    def any(self, rt: _Rt) -> bool:
+        start = time.perf_counter()
+        found = super().any(rt)
+        prof = self.prof
+        prof["seconds"] += time.perf_counter() - start
+        prof["loops"] += 1
+        prof["rows"] += int(found)
+        return found
+
+
+def _attach_profile(node: "pl.PlanNode", plan: Any) -> None:
+    prof = getattr(plan, "prof", None)
+    if prof and prof["loops"]:
+        node.actual_rows = prof["rows"]
+        node.actual_loops = prof["loops"]
+        node.seconds = prof["seconds"]
+
+
+def _driver_detail(driver: Optional[Tuple]) -> str:
+    if driver is None:
+        return "scan"
+    kind, column, _payload = driver
+    return f"{kind} probe on {column}"
+
+
+def _source_node(src: _SourcePlan) -> "pl.PlanNode":
+    if src.kind == "table":
+        name = src.table.name
+        label = name if name == src.alias else f"{name} AS {src.alias}"
+        if src.driver is not None:
+            node = pl.PlanNode(
+                op="PROBE", detail=f"{label} ({_driver_detail(src.driver)})",
+                est_rows=src.est_rows)
+        elif src.probe is not None and src.probe[0] == "index":
+            node = pl.PlanNode(
+                op="PROBE", detail=f"{label} (index on {src.probe[1]})",
+                est_rows=src.est_rows)
+        else:
+            node = pl.PlanNode(op="SCAN", detail=label,
+                               est_rows=src.est_rows)
+    elif src.kind == "subquery":
+        if src.probe is not None and src.probe[0] == "hash":
+            node = pl.PlanNode(
+                op="HASH-JOIN",
+                detail=f"{src.alias} (build key {src.probe[1]})",
+                est_rows=src.est_rows)
+        else:
+            node = pl.PlanNode(op="SUBQUERY", detail=src.alias,
+                               est_rows=src.est_rows)
+        node.children.append(_select_node(src.subplan, "SELECT"))
+    else:
+        node = pl.PlanNode(op="JSON-EACH", detail=src.alias)
+    _attach_profile(node, src)
+    return node
+
+
+def _select_node(plan: _SelectPlan, label: str = "SELECT") -> "pl.PlanNode":
+    node = pl.PlanNode(op=label, est_rows=plan.est_rows)
+    for src in plan.sources:
+        node.children.append(_source_node(src))
+    if plan.fused:
+        node.children.append(pl.PlanNode(
+            op="TOPK-SORT",
+            detail="ROW_NUMBER fused with ORDER BY/LIMIT"))
+    elif plan.order_specs:
+        node.children.append(pl.PlanNode(
+            op="SORT", detail=f"{len(plan.order_specs)} key(s)"))
+    if plan.group_fns or plan.has_agg:
+        node.children.append(pl.PlanNode(op="AGGREGATE"))
+    for sub_label, subplan in plan.xsubs:
+        node.children.append(_select_node(subplan, sub_label))
+    _attach_profile(node, plan)
+    return node
+
+
+def _statement_node(plan: Any) -> "pl.PlanNode":
+    if plan.kind == "select":
+        root = pl.PlanNode(op="STATEMENT", detail="SELECT")
+        root.children.append(_select_node(plan.plan))
+        return root
+    if plan.kind == "insert":
+        root = pl.PlanNode(op="STATEMENT", detail="INSERT")
+        node = pl.PlanNode(op="INSERT", detail=plan.table.name)
+        if plan.select is not None:
+            node.children.append(_select_node(plan.select, "FROM SELECT"))
+        root.children.append(node)
+    else:
+        verb = plan.kind.upper()
+        root = pl.PlanNode(op="STATEMENT", detail=verb)
+        node = pl.PlanNode(
+            op=verb,
+            detail=f"{plan.table.name} ({_driver_detail(plan.driver)})",
+            est_rows=plan.est_rows)
+        root.children.append(node)
+    for sub_label, subplan in plan.xsubs:
+        root.children.append(_select_node(subplan, sub_label))
+    return root
+
+
+class _FailedPlan:
+    """Poisoned plan-cache artifact for statements that fail to compile.
+
+    SQLite defers compilation to execute time, so its plan cache admits
+    an entry for a bad statement and the error surfaces from the raw
+    execute.  Caching the failure keeps the two plan caches (and their
+    eviction counts in :class:`StatementCounts`) identical by
+    construction; re-raising at execute time keeps the error surface."""
+
+    kind = "error"
+
+    def __init__(self, error: Exception):
+        self.error = error
+
+
+# ----------------------------------------------------------------------
 # the engine
 # ----------------------------------------------------------------------
 
@@ -1845,18 +2594,22 @@ class MemoryStorageEngine(StorageEngine):
                 self.children.setdefault(fk.ref_table, []).append(
                     (tdef.name, fk))
         self._compiler = _Compiler(self)
-        self._plans: Dict[str, Any] = {}
         self._undo: Optional[List[Tuple]] = None
 
     # ------------------------------------------------------------------
     # statement execution (raw hooks for the accounted base class)
     # ------------------------------------------------------------------
-    def _plan(self, sql: str) -> Any:
-        plan = self._plans.get(sql)
-        if plan is None:
-            plan = self._compiler.compile(sp.parse(sql))
-            self._plans[sql] = plan
-        return plan
+    def _compile_plan(self, sql: str) -> Any:
+        """Compile ``sql`` for the shared plan cache (base class hook).
+
+        Compile *errors* are cached too (see :class:`_FailedPlan`) so
+        the cache contents — and with them the eviction counters — stay
+        identical to SQLite's, which admits a cache entry before its
+        deferred native compile fails at execute time."""
+        try:
+            return self._compiler.compile(sp.parse(sql))
+        except Exception as exc:  # surfaces from _execute_raw
+            return _FailedPlan(exc)
 
     def _make_rt(self, params: Any) -> _Rt:
         if isinstance(params, dict):
@@ -1879,12 +2632,20 @@ class MemoryStorageEngine(StorageEngine):
             outer.extend(entries)
         return cursor
 
-    def _execute_raw(self, sql: str, params: Sequence[Any]) -> MemoryCursor:
-        return self._run_statement(self._plan(sql), params)
+    def _resolve_plan(self, sql: str, plan: Any) -> Any:
+        if plan is None:  # uncached call path (plan cache bypassed)
+            plan = self._compile_plan(sql)
+        if isinstance(plan, _FailedPlan):
+            raise plan.error
+        return plan
 
-    def _executemany_raw(self, sql: str,
-                         rows: Sequence[Sequence[Any]]) -> MemoryCursor:
-        plan = self._plan(sql)
+    def _execute_raw(self, sql: str, params: Sequence[Any],
+                     plan: Any = None) -> MemoryCursor:
+        return self._run_statement(self._resolve_plan(sql, plan), params)
+
+    def _executemany_raw(self, sql: str, rows: Sequence[Sequence[Any]],
+                         plan: Any = None) -> MemoryCursor:
+        plan = self._resolve_plan(sql, plan)
         total = 0
         lastrowid = None
         for params in rows:
@@ -1898,6 +2659,42 @@ class MemoryStorageEngine(StorageEngine):
 
     def run_script(self, statements: Sequence[str]) -> None:
         """DDL is a no-op: the schema is built from ``TABLE_DEFS``."""
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def explain(self, sql: str, params: Sequence[Any] = None
+                ) -> "pl.ExplainReport":
+        """The planner's chosen tree for ``sql``; uncounted.
+
+        With ``params`` the statement runs freshly compiled with
+        profiled plan nodes, filling actual row counts and per-operator
+        timings.  DML executes inside an undo sandbox that is always
+        rolled back, so profiling is side-effect free."""
+        compiler = _Compiler(self, profiled=True)
+        plan = compiler.compile(sp.parse(sql))
+        if params is not None:
+            outer = self._undo
+            self._undo = []
+            try:
+                plan.run(self, self._make_rt(params))
+            finally:
+                self._replay(self._undo)
+                self._undo = outer
+        return pl.ExplainReport(sql=sql, engine=self.name,
+                                root=_statement_node(plan))
+
+    def table_stats(self) -> Dict[str, Dict[str, Any]]:
+        """The planner's advisory statistics: live row counts and
+        per-index distinct-value counts."""
+        return {
+            name: {
+                "rows": len(table.rows),
+                "distinct": {column: len(index)
+                             for column, index in table.eq_indexes.items()},
+            }
+            for name, table in self.tables.items()
+        }
 
     # ------------------------------------------------------------------
     # transactions

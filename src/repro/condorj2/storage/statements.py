@@ -1,4 +1,4 @@
-"""An LRU prepared-statement cache.
+"""LRU caches keyed by statement text.
 
 The container the paper ran on (JBoss over DB2) keeps a bounded cache of
 ``PreparedStatement`` handles per pooled connection; preparing a statement
@@ -7,12 +7,23 @@ reproduction models that cache explicitly so the cost model can charge
 compilation on misses and so the hit rate is observable — a healthy
 set-oriented workload converges on a tiny working set of SQL strings and
 a hit rate near 1.0.
+
+Next to it sits :class:`PlanCache` — the engine-side *compiled-plan*
+cache.  Where the prepared-statement cache models the container's JDBC
+handle cache, the plan cache holds the engine's compiled execution plan
+for the statement text (the memory engine's closure plan; SQLite's
+natively prepared statement).  Both are plain LRUs keyed by exact SQL
+text, admitted by the shared :class:`~repro.condorj2.storage.engine.
+StorageEngine` base class, so both ledgers are engine-neutral and a
+workload replayed on two backends produces identical hit/miss/eviction
+counts by construction.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Any, Optional, Tuple
 
 
 @dataclass
@@ -67,4 +78,76 @@ class PreparedStatementCache:
 
     def clear(self) -> None:
         """Drop every cached statement (statistics are kept)."""
+        self._entries.clear()
+
+
+@dataclass
+class CachedPlan:
+    """One cached compiled plan: the SQL text, the engine's compiled
+    artifact, and usage statistics."""
+
+    sql: str
+    plan: Any = None
+    uses: int = 0
+
+
+class PlanCache:
+    """Bounded LRU compiled-plan cache keyed by exact SQL text.
+
+    Plans are keyed by statement text and survive data changes — the
+    planner's statistics snapshot is advisory, taken at compile time.
+    """
+
+    def __init__(self, capacity: int = 128):
+        if capacity <= 0:
+            raise ValueError("plan cache capacity must be positive")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: "OrderedDict[str, CachedPlan]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, sql: str) -> bool:
+        return sql in self._entries
+
+    def lookup(self, sql: str) -> Tuple[bool, Optional[CachedPlan]]:
+        """Counted lookup; returns ``(hit, entry-or-None)``."""
+        entry = self._entries.get(sql)
+        if entry is not None:
+            self.hits += 1
+            entry.uses += 1
+            self._entries.move_to_end(sql)
+            return True, entry
+        self.misses += 1
+        return False, None
+
+    def store(self, sql: str, plan: Any) -> bool:
+        """Admit a freshly compiled plan; returns True when the admission
+        evicted the least-recently-used entry."""
+        self._entries[sql] = CachedPlan(sql, plan, uses=1)
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            return True
+        return False
+
+    def peek(self, sql: str) -> Optional[Any]:
+        """Uncounted plan lookup (observability / out-of-band reuse)."""
+        entry = self._entries.get(sql)
+        return entry.plan if entry is not None else None
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when unused)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def entries(self) -> list:
+        """Cached plans, least- to most-recently used."""
+        return list(self._entries.values())
+
+    def clear(self) -> None:
+        """Drop every cached plan (statistics are kept)."""
         self._entries.clear()

@@ -115,10 +115,56 @@ class PoolWebSite:
             ["metric", "value"], engine_rows, title="Storage Engine",
         )
         report = table_report + "\n\n" + engine_report
+        report += "\n\n" + self._caches_report()
+        explain_report = self._hot_plan_report()
+        if explain_report:
+            report += "\n\n" + explain_report
         operations_report = self._operations_report()
         if operations_report:
             report += "\n\n" + operations_report
         return report
+
+    def _caches_report(self) -> str:
+        """The two statement-text LRUs side by side: the container's
+        prepared-statement cache and the engine's compiled-plan cache.
+        Equal workloads produce equal rows here on every backend — the
+        shared-admission property the differential fuzzer pins."""
+        db = self.reports.db
+        rows = []
+        for label, cache in (
+            ("prepared statements", db.statement_cache),
+            ("compiled plans", db.plan_cache),
+        ):
+            rows.append([
+                label,
+                cache.capacity,
+                len(cache),
+                cache.hits,
+                cache.misses,
+                cache.evictions,
+                f"{cache.hit_rate():.3f}",
+            ])
+        return ascii_table(
+            ["cache", "capacity", "entries", "hits", "misses",
+             "evictions", "hit rate"],
+            rows, title="Statement Caches",
+        )
+
+    def _hot_plan_report(self) -> Optional[str]:
+        """EXPLAIN for the most-executed cached plan, when the backend
+        supports it (both bundled engines do; explain is uncounted)."""
+        db = self.reports.db
+        entries = db.plan_cache.entries()
+        if not entries:
+            return None
+        hottest = max(entries, key=lambda entry: entry.uses)
+        try:
+            report = db.explain(hottest.sql)
+        except Exception:
+            return None
+        return (f"Hottest Plan ({hottest.uses} uses, "
+                f"engine={report.engine})\n"
+                f"  {hottest.sql}\n" + report.render())
 
     def _operations_report(self) -> Optional[str]:
         """Per-operation gateway meter: calls, faults, latency, charge."""
