@@ -77,6 +77,12 @@ class CondorJ2ApplicationServer:
             statement_cache_size=self.costs.prepared_statement_cache_size,
             backend=self.costs.storage_backend or None,
         )
+        # Durability is container configuration too: a WAL-backed engine
+        # adopts the cost model's priced fsync policy (other engines
+        # have no durability seam and are left alone).
+        configure = getattr(self.db.engine, "configure_durability", None)
+        if configure is not None:
+            configure(self.costs.fsync_policy())
         self.log = log if log is not None else EventLog()
 
         # container plumbing

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.condorj2.storage import StatementCounts
+from repro.condorj2.storage import FsyncPolicy, StatementCounts
 
 
 @dataclass
@@ -68,9 +68,26 @@ class CasCostModel:
     #: container's PreparedStatement cache in the paper's stack).
     prepared_statement_cache_size: int = 128
     #: Storage backend name/URL for the operational store ("sqlite",
-    #: "memory", ...); empty string defers to the environment default
-    #: (``CONDORJ2_STORAGE_ENGINE``), then SQLite in memory.
+    #: "memory", "wal", ...); empty string defers to the environment
+    #: default (``CONDORJ2_STORAGE_ENGINE``), then SQLite in memory.
     storage_backend: str = ""
+
+    # -- durability (WAL engine) ------------------------------------------
+    #: Disk time to append one framed record to the write-ahead log
+    #: (sequential write into the OS page cache).
+    wal_append_io_seconds: float = 0.00002
+    #: Disk time to force the log (the fsync the policy schedules) —
+    #: the dominant durability cost, same order as a commit log force.
+    wal_fsync_io_seconds: float = 0.0020
+    #: Disk time for one checkpoint cycle (snapshot write + rename +
+    #: segment rotation).
+    wal_checkpoint_io_seconds: float = 0.0400
+    #: When the WAL engine forces its log: "commit" (every commit,
+    #: full durability), "interval" (every ``wal_fsync_interval``-th
+    #: commit — the group-commit precursor) or "never".
+    wal_fsync_mode: str = "commit"
+    #: Commits per log force under ``wal_fsync_mode="interval"``.
+    wal_fsync_interval: int = 8
 
     # -- container -------------------------------------------------------
     #: Concurrent request-handling threads in the web/EJB containers.
@@ -120,5 +137,24 @@ class CasCostModel:
         )
 
     def io_cost_seconds(self, delta: StatementCounts) -> float:
-        """Disk time for the commits in ``delta``."""
-        return delta.commits * self.commit_io_seconds
+        """Disk time for the commits — and, on a WAL backend, the log
+        appends, forces and checkpoints — in ``delta``.
+
+        The durability counters are zero on sqlite/memory backends, so
+        their charge is exactly the old ``commits`` term there; the WAL
+        engine's durability work is priced on top, which is what makes
+        ``wal_fsync_mode`` a real throughput/durability trade rather
+        than a cosmetic flag.
+        """
+        return (
+            delta.commits * self.commit_io_seconds
+            + delta.wal_appends * self.wal_append_io_seconds
+            + delta.fsyncs * self.wal_fsync_io_seconds
+            + delta.checkpoints * self.wal_checkpoint_io_seconds
+        )
+
+    def fsync_policy(self) -> FsyncPolicy:
+        """The durability policy the configured mode/interval describe —
+        what the CAS hands a WAL engine at construction."""
+        return FsyncPolicy(mode=self.wal_fsync_mode,
+                           interval=self.wal_fsync_interval)

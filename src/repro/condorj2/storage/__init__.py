@@ -3,20 +3,27 @@
 Public surface:
 
 * :class:`StorageEngine` — the backend contract (shared accounting);
-* :class:`SqliteStorageEngine` / :class:`MemoryStorageEngine` — the two
-  bundled implementations, held equivalent by the differential fuzzer;
+* :class:`SqliteStorageEngine` / :class:`MemoryStorageEngine` /
+  :class:`WalStorageEngine` — the three bundled implementations: SQLite,
+  the dict-backed executor held equivalent to it by the differential
+  fuzzer, and the WAL-durable engine held crash-equivalent to the memory
+  engine by the crash-recovery fuzzer;
 * :func:`create_engine` / :func:`register_engine` — the backend registry
   the access layer resolves names and URLs through;
 * :class:`StatementCounts` — centralized per-verb statement accounting;
 * :class:`PreparedStatementCache` — the LRU statement cache engines put
   in front of SQL compilation;
-* :class:`DatabaseError` — the layer's single error type.
+* :class:`DatabaseError` — the layer's error root;
+* :class:`StorageConfigError` — the structured fault raised for an
+  unknown backend name, carrying the offending name and the registered
+  alternatives.
 
 Engine selection accepts either a bare backend name (``"sqlite"``,
-``"memory"``) or a URL (``"sqlite:///var/pool.db"``, ``"memory://"``);
-the ``CONDORJ2_STORAGE_ENGINE`` environment variable supplies the
-default backend when the caller does not choose one, which is how CI
-runs the whole tier-1 suite against each backend.
+``"memory"``, ``"wal"``) or a URL (``"sqlite:///var/pool.db"``,
+``"memory://"``, ``"wal:///var/pool-wal"``); the
+``CONDORJ2_STORAGE_ENGINE`` environment variable supplies the default
+backend when the caller does not choose one, which is how CI runs the
+whole tier-1 suite against each backend.
 """
 
 from __future__ import annotations
@@ -42,14 +49,42 @@ from repro.condorj2.storage.statements import (
     PreparedStatement,
     PreparedStatementCache,
 )
+from repro.condorj2.storage.wal import (
+    CrashInjector,
+    FsyncPolicy,
+    RecoveryReport,
+    SimulatedCrash,
+    WalCorruptionError,
+    WalStorageEngine,
+)
 
-#: Environment variable naming the default backend ("sqlite" | "memory").
+#: Environment variable naming the default backend
+#: ("sqlite" | "memory" | "wal").
 ENGINE_ENV_VAR = "CONDORJ2_STORAGE_ENGINE"
 
 _ENGINE_REGISTRY: Dict[str, Callable[..., StorageEngine]] = {
     "sqlite": SqliteStorageEngine,
     "memory": MemoryStorageEngine,
+    "wal": WalStorageEngine,
 }
+
+
+class StorageConfigError(DatabaseError):
+    """An engine name that is not in the registry.
+
+    A structured fault rather than a bare ``KeyError`` (or a silent
+    fall-through to SQLite, which an early factory version did): callers
+    see *which* name failed and *what* is available, and the gateway can
+    map it to a configuration fault instead of an internal error.
+    """
+
+    def __init__(self, backend: str, available: Tuple[str, ...]):
+        self.backend = backend
+        self.available = available
+        super().__init__(
+            f"unknown storage backend {backend!r}; "
+            f"registered engines: {', '.join(available)}"
+        )
 
 
 def register_engine(name: str, factory: Callable[..., StorageEngine]) -> None:
@@ -67,21 +102,36 @@ def default_backend() -> str:
     return os.environ.get(ENGINE_ENV_VAR, "").strip() or "sqlite"
 
 
+def _looks_like_backend_name(url: str) -> bool:
+    """A bare identifier (no path separators, dots or scheme colons) can
+    only be an intended backend name — never a usable database path."""
+    return bool(url) and url.isidentifier()
+
+
 def parse_storage_url(url: str) -> Tuple[str, str]:
     """Split ``url`` into (backend, path).
 
     Accepted forms: a bare backend name (``"memory"``), a backend URL
     (``"memory://"``, ``"sqlite:///var/pool.db"``, ``"sqlite::memory:"``)
     or a plain SQLite path (``":memory:"``, ``"/var/pool.db"``).
+
+    A bare identifier that is not a registered backend raises
+    :class:`StorageConfigError` — a typo like ``"postgres"`` must not be
+    silently opened as a SQLite file of that name.
     """
     if "://" in url:
         backend, _, rest = url.partition("://")
-        return backend or default_backend(), (rest or ":memory:")
+        backend = backend or default_backend()
+        if backend not in _ENGINE_REGISTRY:
+            raise StorageConfigError(backend, available_engines())
+        return backend, (rest or ":memory:")
     backend, sep, rest = url.partition(":")
     if sep and backend in _ENGINE_REGISTRY:
         return backend, (rest or ":memory:")
     if url in _ENGINE_REGISTRY:
         return url, ":memory:"
+    if _looks_like_backend_name(url):
+        raise StorageConfigError(url, available_engines())
     return "sqlite", (url or ":memory:")
 
 
@@ -95,7 +145,8 @@ def create_engine(
     ``spec`` is a name/URL as accepted by :func:`parse_storage_url`.
     When ``spec`` is omitted (environment default applies) or is a bare
     backend name, the caller's ``path`` is used verbatim; a URL spec
-    carries its own path.
+    carries its own path.  An unknown backend — from ``spec`` or from
+    ``CONDORJ2_STORAGE_ENGINE`` — raises :class:`StorageConfigError`.
     """
     if spec is None:
         backend = default_backend()
@@ -105,23 +156,30 @@ def create_engine(
         backend, path = parse_storage_url(spec)
     factory = _ENGINE_REGISTRY.get(backend)
     if factory is None:
-        raise DatabaseError(f"unknown storage backend {backend!r}")
+        raise StorageConfigError(backend, available_engines())
     return factory(path, statement_cache_size=statement_cache_size)
 
 
 __all__ = [
     "CachedPlan",
+    "CrashInjector",
     "DatabaseError",
     "ENGINE_ENV_VAR",
     "ExplainReport",
+    "FsyncPolicy",
     "MemoryStorageEngine",
     "PlanCache",
     "PlanNode",
     "PreparedStatement",
     "PreparedStatementCache",
+    "RecoveryReport",
+    "SimulatedCrash",
     "SqliteStorageEngine",
     "StatementCounts",
+    "StorageConfigError",
     "StorageEngine",
+    "WalCorruptionError",
+    "WalStorageEngine",
     "available_engines",
     "create_engine",
     "default_backend",

@@ -73,6 +73,16 @@ class StatementCounts:
     plan_hits: int = 0
     plan_misses: int = 0
     plan_evictions: int = 0
+    #: Durability ledger (zero on engines without a write-ahead log).
+    #: ``wal_appends`` counts framed records appended to the log,
+    #: ``fsyncs`` counts log forces (the fsync policy's commit points —
+    #: what the cost model prices as commit disk time), ``checkpoints``
+    #: counts snapshot/truncate cycles and ``wal_replays`` counts redo
+    #: records applied during crash recovery.
+    wal_appends: int = 0
+    wal_replays: int = 0
+    fsyncs: int = 0
+    checkpoints: int = 0
     #: Per-table row traffic: ``{table: {verb: rows}}`` with lower-cased
     #: verb keys mirroring the scalar counters.
     tables: Dict[str, Dict[str, int]] = field(default_factory=dict)
@@ -115,6 +125,10 @@ class StatementCounts:
             plan_hits=self.plan_hits,
             plan_misses=self.plan_misses,
             plan_evictions=self.plan_evictions,
+            wal_appends=self.wal_appends,
+            wal_replays=self.wal_replays,
+            fsyncs=self.fsyncs,
+            checkpoints=self.checkpoints,
             tables={table: dict(verbs) for table, verbs in self.tables.items()},
         )
 
@@ -145,6 +159,10 @@ class StatementCounts:
             plan_hits=self.plan_hits - earlier.plan_hits,
             plan_misses=self.plan_misses - earlier.plan_misses,
             plan_evictions=self.plan_evictions - earlier.plan_evictions,
+            wal_appends=self.wal_appends - earlier.wal_appends,
+            wal_replays=self.wal_replays - earlier.wal_replays,
+            fsyncs=self.fsyncs - earlier.fsyncs,
+            checkpoints=self.checkpoints - earlier.checkpoints,
             tables=tables,
         )
 
@@ -175,6 +193,10 @@ class StatementCounts:
             plan_hits=self.plan_hits + other.plan_hits,
             plan_misses=self.plan_misses + other.plan_misses,
             plan_evictions=self.plan_evictions + other.plan_evictions,
+            wal_appends=self.wal_appends + other.wal_appends,
+            wal_replays=self.wal_replays + other.wal_replays,
+            fsyncs=self.fsyncs + other.fsyncs,
+            checkpoints=self.checkpoints + other.checkpoints,
             tables=tables,
         )
 

@@ -2595,6 +2595,13 @@ class MemoryStorageEngine(StorageEngine):
                     (tdef.name, fk))
         self._compiler = _Compiler(self)
         self._undo: Optional[List[Tuple]] = None
+        #: Redo collection point for durability layers: when a subclass
+        #: sets this to a list, every applied mutation appends its
+        #: row-level redo entry (``("ins", table, key, row)`` /
+        #: ``("upd", table, key, new_row)`` / ``("del", table, key)``)
+        #: in apply order — exactly what a write-ahead log must frame to
+        #: reproduce the statement's effect without re-executing SQL.
+        self._redo: Optional[List[Tuple]] = None
 
     # ------------------------------------------------------------------
     # statement execution (raw hooks for the accounted base class)
@@ -2786,6 +2793,8 @@ class MemoryStorageEngine(StorageEngine):
         table.raw_insert(rowkey, row)
         if self._undo is not None:
             self._undo.append(("insert", table, rowkey))
+        if self._redo is not None:
+            self._redo.append(("ins", table.name, rowkey, row))
         return 1, (rowkey if isinstance(rowkey, int) else None)
 
     def _update_row(self, table: MemoryTable, key: Any,
@@ -2808,6 +2817,8 @@ class MemoryStorageEngine(StorageEngine):
         table.raw_update(key, new)
         if self._undo is not None:
             self._undo.append(("update", table, key, old))
+        if self._redo is not None:
+            self._redo.append(("upd", table.name, key, new))
 
     def _delete_key(self, table: MemoryTable, key: Any) -> None:
         if key not in table.rows:
@@ -2827,6 +2838,8 @@ class MemoryStorageEngine(StorageEngine):
         table.raw_delete(key)
         if self._undo is not None:
             self._undo.append(("delete", table, key, row))
+        if self._redo is not None:
+            self._redo.append(("del", table.name, key))
 
     def _check_fks(self, table: MemoryTable, row: Dict[str, Any],
                    old_row: Optional[Dict[str, Any]]) -> None:

@@ -115,6 +115,9 @@ class PoolWebSite:
             ["metric", "value"], engine_rows, title="Storage Engine",
         )
         report = table_report + "\n\n" + engine_report
+        durability_report = self._durability_report()
+        if durability_report:
+            report += "\n\n" + durability_report
         report += "\n\n" + self._caches_report()
         explain_report = self._hot_plan_report()
         if explain_report:
@@ -122,6 +125,40 @@ class PoolWebSite:
         operations_report = self._operations_report()
         if operations_report:
             report += "\n\n" + operations_report
+        return report
+
+    def _durability_report(self) -> Optional[str]:
+        """WAL ledger and last-recovery summary, on backends that keep a
+        write-ahead log (``wal_stats``/``last_recovery`` seam)."""
+        db = self.reports.db
+        wal_stats = getattr(db.engine, "wal_stats", None)
+        if wal_stats is None:
+            return None
+        stats = wal_stats()
+        rows = [
+            ["segment", stats["segment"]],
+            ["log bytes (stream)", stats["stream_bytes"]],
+            ["log bytes (segment)", stats["segment_bytes"]],
+            ["records appended", stats["appends"]],
+            ["log forces (fsync)", stats["fsyncs"]],
+            ["checkpoints", stats["checkpoints"]],
+            ["records replayed", stats["replays"]],
+            ["fsync policy", stats["fsync_mode"]],
+        ]
+        report = ascii_table(["metric", "value"], rows,
+                             title="Durability (write-ahead log)")
+        recovery = getattr(db.engine, "last_recovery", None)
+        if recovery is not None:
+            report += (
+                "\nLast recovery: "
+                f"checkpoint={'yes' if recovery.checkpoint_loaded else 'no'}, "
+                f"{recovery.records_scanned} records scanned, "
+                f"{recovery.records_replayed} replayed "
+                f"({recovery.mutations_applied} row mutations), "
+                f"{recovery.transactions_committed} txns committed, "
+                f"{recovery.transactions_discarded} discarded, "
+                f"{recovery.tail_bytes_dropped} tail bytes dropped"
+            )
         return report
 
     def _caches_report(self) -> str:

@@ -43,11 +43,16 @@ TRACE_LENGTH = 28
 
 
 class Pool:
-    """One backend's full service stack."""
+    """One backend's full service stack.
 
-    def __init__(self, backend):
+    ``database`` lets a caller stack the services over a pre-configured
+    :class:`Database` (the crash-recovery harness wires in WAL engines
+    with crash injectors); by default the backend name picks the engine.
+    """
+
+    def __init__(self, backend, database=None):
         self.backend = backend
-        self.container = BeanContainer(Database(backend=backend))
+        self.container = BeanContainer(database or Database(backend=backend))
         self.db = self.container.db
         self.submission = SubmissionService(self.container)
         self.scheduling = SchedulingService(self.container)

@@ -1,11 +1,13 @@
-"""Cost-shape invariants pinned on *both* storage backends.
+"""Cost-shape invariants pinned on *every* storage backend.
 
 The claims that make CondorJ2's scalability story: the scheduling pass is
 two statement dispatches regardless of queue depth, and an idle heartbeat
 costs a fixed, small number of statements (the per-beat MATCHINFO SELECT
 is skipped when the server-side per-machine dirty flag says nothing is
-pending).  Each invariant is parametrized over the engines so a backend
-cannot satisfy the contract accidentally.
+pending).  Each invariant is parametrized over the engines — SQLite,
+memory, and the WAL-durable engine — so a backend cannot satisfy the
+contract accidentally, and adding durability cannot change the statement
+shape the cost model prices.
 """
 
 import pytest
@@ -20,7 +22,7 @@ from repro.condorj2.logic import (
     SubmissionService,
 )
 
-BACKENDS = ("sqlite", "memory")
+BACKENDS = ("sqlite", "memory", "wal")
 
 
 def build_services(backend):

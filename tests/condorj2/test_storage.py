@@ -26,9 +26,15 @@ from repro.condorj2.logic import (
     SubmissionService,
 )
 from repro.condorj2.storage import (
+    MemoryStorageEngine,
     PreparedStatementCache,
     SqliteStorageEngine,
     StatementCounts,
+    StorageConfigError,
+    WalStorageEngine,
+    available_engines,
+    create_engine,
+    parse_storage_url,
 )
 
 
@@ -411,3 +417,54 @@ def test_idle_pass_executes_single_statement(services):
     delta = container.db.counts.delta(before)
     assert delta.statements == 1  # the INSERT..SELECT found nothing; no UPDATE
     assert delta.total() == 1  # a no-op statement still costs one probe
+
+
+# ----------------------------------------------------------------------
+# engine factory / registry
+# ----------------------------------------------------------------------
+
+def test_registry_lists_all_three_engines():
+    assert set(available_engines()) >= {"sqlite", "memory", "wal"}
+
+
+def test_create_engine_resolves_names_and_urls(tmp_path, monkeypatch):
+    for spec, expected in (
+        ("sqlite", SqliteStorageEngine),
+        ("memory", MemoryStorageEngine),
+        ("wal", WalStorageEngine),
+        ("memory://", MemoryStorageEngine),
+        (f"wal://{tmp_path}/pool-wal", WalStorageEngine),
+    ):
+        engine = create_engine(spec)
+        assert isinstance(engine, expected), spec
+        engine.close()
+    monkeypatch.setenv("CONDORJ2_STORAGE_ENGINE", "wal")
+    engine = create_engine()
+    assert isinstance(engine, WalStorageEngine)
+    engine.close()
+
+
+def test_unknown_backend_raises_structured_fault():
+    """A typo'd backend name is a structured StorageConfigError naming
+    the offender and the alternatives — never a silent SQLite file."""
+    for spec in ("postgres", "postgres://somewhere/db", "Wal"):
+        with pytest.raises(StorageConfigError) as excinfo:
+            create_engine(spec)
+        fault = excinfo.value
+        assert fault.backend in ("postgres", "Wal")
+        assert set(fault.available) >= {"memory", "sqlite", "wal"}
+        assert "registered engines" in str(fault)
+
+
+def test_unknown_env_default_raises_structured_fault(monkeypatch):
+    monkeypatch.setenv("CONDORJ2_STORAGE_ENGINE", "bogus")
+    with pytest.raises(StorageConfigError) as excinfo:
+        create_engine()
+    assert excinfo.value.backend == "bogus"
+
+
+def test_plain_paths_still_resolve_to_sqlite(tmp_path):
+    """Non-identifier specs keep the historical SQLite-path behavior."""
+    for spec in (":memory:", str(tmp_path / "pool.db"), "sqlite::memory:"):
+        backend, _ = parse_storage_url(spec)
+        assert backend == "sqlite", spec

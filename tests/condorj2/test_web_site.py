@@ -16,7 +16,7 @@ from repro.condorj2.logic import (
 )
 from repro.condorj2.web.site import PoolWebSite
 
-BACKENDS = ("sqlite", "memory")
+BACKENDS = ("sqlite", "memory", "wal")
 
 
 @pytest.fixture(params=BACKENDS)
@@ -72,3 +72,21 @@ def test_standard_pages_render_on_both_backends(stack):
     assert str(job_id) in site.job_page(job_id)
     assert "Accounting" in site.accounting_page()
     assert "Configuration" in site.config_page(["scheduling_interval_seconds"])
+
+
+def test_statistics_page_durability_panel(stack):
+    """The WAL backend's statistics page shows the durability ledger;
+    engines without a write-ahead log render no such panel."""
+    container, submission, _, heartbeat, site = stack
+    heartbeat.register_machine({"name": "m1", "vm_count": 1}, 0.0)
+    submission.submit_jobs([JobSpec()], now=1.0)
+    page = site.statistics_page()
+    if container.db.engine.name == "wal":
+        assert "Durability (write-ahead log)" in page
+        assert "log forces (fsync)" in page
+        assert "fsync policy" in page
+        stats = container.db.engine.wal_stats()
+        assert stats["appends"] > 0
+        assert str(stats["appends"]) in page
+    else:
+        assert "Durability" not in page
