@@ -1,0 +1,36 @@
+"""Schema-aware static analysis of the SQL corpus.
+
+The paper's thesis is that cluster state lives in a database and every
+daemon interaction is a SQL statement; this package turns that design
+into a checkable property.  It extracts the complete statement corpus
+from the Python sources (:mod:`extract`), validates each statement
+against the declared schema with the engines' own parser
+(:mod:`check`), applies the planner's costing rules to flag
+index-less equality access (:mod:`advisor`), and gates CI on the
+result (:mod:`cli`, ``python -m repro.condorj2.analysis``).
+"""
+
+from repro.condorj2.analysis.check import Catalog, check_extracted
+from repro.condorj2.analysis.cli import analyze, main
+from repro.condorj2.analysis.extract import (
+    Corpus, ExtractedStatement, SqlTemplate, extract_corpus,
+)
+from repro.condorj2.analysis.findings import (
+    RULES, SEVERITIES, Baseline, Finding, sort_findings,
+)
+
+__all__ = [
+    "Baseline",
+    "Catalog",
+    "Corpus",
+    "ExtractedStatement",
+    "Finding",
+    "RULES",
+    "SEVERITIES",
+    "SqlTemplate",
+    "analyze",
+    "check_extracted",
+    "extract_corpus",
+    "main",
+    "sort_findings",
+]

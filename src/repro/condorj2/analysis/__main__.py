@@ -1,0 +1,8 @@
+"""Entry point: ``python -m repro.condorj2.analysis``."""
+
+import sys
+
+from repro.condorj2.analysis.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

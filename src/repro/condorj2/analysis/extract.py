@@ -1,0 +1,628 @@
+"""Static extraction of the SQL corpus from Python sources.
+
+The daemons talk to the store exclusively through the execute family
+(``execute``/``executemany``/``query_all``/``query_one``/``scalar``), so
+the corpus is recovered by walking each module's AST and resolving the
+first argument of every such call into a :class:`SqlTemplate` — a
+sequence of constant text parts and :class:`Slot` interpolation points.
+
+Resolution follows the shapes the codebase actually uses:
+
+* plain string constants (adjacent literals fold into one constant),
+* f-strings, whose interpolations become slots classified by the
+  identifier allow-list (``self.TABLE``, ``columns``, ``placeholders``,
+  ...) — anything else is a *value* slot, the injection signal,
+* ``+`` concatenation of resolvable pieces,
+* names bound by a single plain assignment in the enclosing function or
+  at module scope (``MATCH_INSERT_SQL``); ``sql += ...`` augmented
+  assignments mark the template *open ended* (a constant prefix with an
+  optional suffix, e.g. ``find_where``'s ORDER BY / LIMIT tail).
+
+Calls whose first argument cannot be resolved are *skipped*, not
+flagged: the storage layer forwards SQL through variables
+(``self._conn.execute(sql, ...)``) and those texts are extracted at the
+original call site instead.  A resolved template only enters the corpus
+if its leading constant text starts with a dialect verb, which excludes
+``BEGIN``/``PRAGMA`` plumbing and diagnostic wrappers like
+``f"EXPLAIN QUERY PLAN {sql}"``.
+
+Identifier templates are *rendered* into concrete statements the checker
+can parse: bean-anchored slots render once per registered bean (the
+classes declaring ``TABLE``/``PK``/``FIELDS``), and the bare ``table``
+slot renders once per schema table.  Rendering is what makes the generic
+``EntityBean`` plumbing checkable against every table it actually
+serves.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.condorj2 import schema
+from repro.condorj2.analysis.findings import Finding, make_finding
+
+#: Methods whose first argument is SQL text.
+EXECUTE_METHODS = ("execute", "executemany", "query_all", "query_one",
+                   "scalar")
+
+#: A template is SQL only if its leading constant text starts with one
+#: of the dialect's verbs.
+DIALECT_VERBS = ("SELECT", "INSERT", "UPDATE", "DELETE", "WITH")
+
+#: Substrings that mark a string literal as SQL-bearing, for the
+#: injection rule (which scans *all* f-strings, not just call sites).
+SQL_MARKERS = (
+    "SELECT ", "INSERT ", "UPDATE ", "DELETE ",
+    " FROM ", " WHERE ", " VALUES ",
+)
+
+#: Allow-listed f-string interpolations and what they interpolate.
+#: ``table``/``pk`` render per bean (or per schema table for the bare
+#: ``table`` identifier), ``columns``/``placeholders``/``assignments``
+#: render from the bean's field list, ``fragment`` is a caller-supplied
+#: clause body, ``int`` is coerced to an integer literal by the caller.
+SLOT_CATEGORIES: Dict[str, str] = {
+    "self.TABLE": "table",
+    "bean_class.TABLE": "table",
+    "self.PK": "pk",
+    "bean_class.PK": "pk",
+    "columns": "columns",
+    "column_list": "columns",
+    "placeholders": "placeholders",
+    "assignments": "assignments",
+    "where": "fragment",
+    "order_by": "fragment",
+    "int(limit)": "int",
+    "table": "table",
+}
+
+#: Files allowed to interpolate extra expressions into SQL-looking
+#: strings, keyed by path suffix.  The parser builds error messages from
+#: token text; that is diagnostics, not statement construction.
+ALLOWED_BY_FILE_SUFFIX: Dict[str, Set[str]] = {
+    "storage/sqlparser.py": {
+        "self.sql", "self.peek().value", "token.value"
+    },
+}
+
+#: Categories the renderer knows how to substitute.
+_RENDERABLE = {"table", "pk", "columns", "placeholders", "assignments",
+               "fragment", "int"}
+
+
+@dataclass(frozen=True)
+class Slot:
+    """One interpolation point in a template."""
+
+    expr: str      # source text of the interpolated expression
+    category: str  # a SLOT_CATEGORIES value, or "value" if not allowed
+
+
+@dataclass
+class SqlTemplate:
+    """Constant text parts interleaved with slots."""
+
+    parts: Tuple[Union[str, Slot], ...]
+    #: True when the statement grows by ``sql += ...`` after the base
+    #: assignment; renders and coverage patterns allow a suffix.
+    open_ended: bool = False
+
+    @property
+    def constant(self) -> bool:
+        return not self.open_ended and all(
+            isinstance(part, str) for part in self.parts)
+
+    @property
+    def slots(self) -> List[Slot]:
+        return [part for part in self.parts if isinstance(part, Slot)]
+
+    @property
+    def text(self) -> str:
+        """Template text with slots shown as ``{expr}``."""
+        return "".join(
+            part if isinstance(part, str) else "{%s}" % part.expr
+            for part in self.parts
+        )
+
+    @property
+    def leading_text(self) -> str:
+        return self.parts[0] if self.parts and isinstance(
+            self.parts[0], str) else ""
+
+
+@dataclass(frozen=True)
+class BeanInfo:
+    """A class declaring TABLE/PK/FIELDS constants."""
+
+    name: str
+    table: str
+    pk: str
+    fields: Tuple[str, ...]
+
+    @property
+    def insert_columns(self) -> Tuple[str, ...]:
+        columns = (self.pk,) + tuple(
+            f for f in self.fields if f != self.pk)
+        return columns
+
+
+@dataclass
+class ExtractedStatement:
+    """One SQL-bearing call site."""
+
+    file: str
+    line: int
+    method: str
+    template: SqlTemplate
+    #: Concrete statement texts the checker validates (the constant text
+    #: itself, or one render per bean/table for identifier templates;
+    #: empty when the template has value slots).
+    renders: List[str] = field(default_factory=list)
+    #: Positional parameter count at the call site, if statically known.
+    arity: Optional[int] = None
+    #: Named parameter keys at the call site, if a dict literal.
+    named: Optional[Tuple[str, ...]] = None
+    #: True when the call passes no parameter argument at all.
+    no_params: bool = False
+
+    @property
+    def constant(self) -> bool:
+        return self.template.constant
+
+    def coverage_pattern(self) -> "re.Pattern[str]":
+        pieces = []
+        for part in self.template.parts:
+            if isinstance(part, str):
+                pieces.append(re.escape(part))
+            else:
+                pieces.append(r".+?")
+        if self.template.open_ended:
+            pieces.append(r"(?:\s.*)?")
+        return re.compile("^" + "".join(pieces) + "$", re.DOTALL)
+
+
+@dataclass
+class Corpus:
+    """Everything extraction recovered from a tree."""
+
+    root: Path
+    statements: List[ExtractedStatement] = field(default_factory=list)
+    beans: List[BeanInfo] = field(default_factory=list)
+    #: Findings produced at extraction time (dynamic/templated SQL and
+    #: the f-string injection rule).
+    findings: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+
+    def covers(self, sql: str) -> Optional[ExtractedStatement]:
+        """The extracted statement accounting for a runtime text."""
+        for statement in self.statements:
+            if statement.constant and statement.renders and \
+                    statement.renders[0] == sql:
+                return statement
+        for statement in self.statements:
+            if sql in statement.renders:
+                return statement
+        for statement in self.statements:
+            if not statement.constant and \
+                    statement.coverage_pattern().match(sql):
+                return statement
+        return None
+
+
+def _is_sql_text(text: str) -> bool:
+    return any(marker in text for marker in SQL_MARKERS)
+
+
+def _starts_with_verb(text: str) -> bool:
+    words = text.split(None, 1)
+    return bool(words) and words[0].upper() in DIALECT_VERBS
+
+
+def _allowed_for(rel: str) -> Set[str]:
+    allowed = set(SLOT_CATEGORIES)
+    for suffix, extra in ALLOWED_BY_FILE_SUFFIX.items():
+        if rel.endswith(suffix) or Path(rel).as_posix().endswith(suffix):
+            allowed |= extra
+    return allowed
+
+
+# ----------------------------------------------------------------------
+# bean registry
+# ----------------------------------------------------------------------
+
+def _class_str_const(node: ast.ClassDef, name: str) -> Optional[str]:
+    for statement in node.body:
+        if isinstance(statement, ast.Assign):
+            for target in statement.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    if isinstance(statement.value, ast.Constant) and \
+                            isinstance(statement.value.value, str):
+                        return statement.value.value
+    return None
+
+
+def _class_str_tuple(node: ast.ClassDef, name: str) -> Optional[Tuple[str, ...]]:
+    for statement in node.body:
+        if isinstance(statement, ast.Assign):
+            for target in statement.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    value = statement.value
+                    if isinstance(value, (ast.Tuple, ast.List)):
+                        items = []
+                        for element in value.elts:
+                            if isinstance(element, ast.Constant) and \
+                                    isinstance(element.value, str):
+                                items.append(element.value)
+                            else:
+                                return None
+                        return tuple(items)
+    return None
+
+
+def scan_beans(trees: Iterable[ast.Module]) -> List[BeanInfo]:
+    """Collect classes that declare non-empty TABLE/PK/FIELDS."""
+    beans: List[BeanInfo] = []
+    for tree in trees:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            table = _class_str_const(node, "TABLE")
+            pk = _class_str_const(node, "PK")
+            fields = _class_str_tuple(node, "FIELDS")
+            if table and pk and fields is not None:
+                beans.append(BeanInfo(node.name, table, pk, fields))
+    return beans
+
+
+# ----------------------------------------------------------------------
+# template resolution
+# ----------------------------------------------------------------------
+
+class _ModuleExtractor:
+    def __init__(self, tree: ast.Module, rel: str,
+                 beans: Sequence[BeanInfo]):
+        self.tree = tree
+        self.rel = rel
+        self.beans = beans
+        self.allowed = _allowed_for(rel)
+        self.module_env = self._collect_assigns(tree, module_level=True)
+        self.statements: List[ExtractedStatement] = []
+        self.findings: List[Finding] = []
+
+    # -- name environments ---------------------------------------------
+    @staticmethod
+    def _collect_assigns(scope: ast.AST, module_level: bool = False
+                         ) -> Dict[str, List[ast.AST]]:
+        """name -> list of assigned value nodes (AugAssign kept as-is)."""
+        env: Dict[str, List[ast.AST]] = {}
+        nodes = scope.body if module_level else list(ast.walk(scope))
+        for node in nodes:
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 and \
+                    isinstance(node.targets[0], ast.Name):
+                env.setdefault(node.targets[0].id, []).append(node.value)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None \
+                    and isinstance(node.target, ast.Name):
+                env.setdefault(node.target.id, []).append(node.value)
+            elif isinstance(node, ast.AugAssign) and \
+                    isinstance(node.target, ast.Name):
+                env.setdefault(node.target.id, []).append(node)
+        return env
+
+    def _lookup(self, name: str, local_env: Dict[str, List[ast.AST]]
+                ) -> Tuple[Optional[ast.AST], bool]:
+        """Resolve a name to its single plain assignment.
+
+        Returns (value_node, open_ended).  AugAssigns do not replace the
+        base assignment; they mark the template open ended.
+        """
+        for env in (local_env, self.module_env):
+            if name in env:
+                nodes = env[name]
+                plain = [n for n in nodes if not isinstance(n, ast.AugAssign)]
+                augmented = any(isinstance(n, ast.AugAssign) for n in nodes)
+                if len(plain) == 1:
+                    return plain[0], augmented
+                return None, False
+        return None, False
+
+    def _resolve_template(self, node: ast.AST,
+                          local_env: Dict[str, List[ast.AST]],
+                          seen: Optional[Set[int]] = None
+                          ) -> Optional[SqlTemplate]:
+        """Resolve an expression into a template, or None if opaque."""
+        if seen is None:
+            seen = set()
+        if id(node) in seen:
+            return None
+        seen.add(id(node))
+
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return SqlTemplate(parts=(node.value,))
+        if isinstance(node, ast.JoinedStr):
+            parts: List[Union[str, Slot]] = []
+            for value in node.values:
+                if isinstance(value, ast.Constant):
+                    parts.append(str(value.value))
+                elif isinstance(value, ast.FormattedValue):
+                    expr = ast.unparse(value.value)
+                    category = SLOT_CATEGORIES.get(expr, "value")
+                    if expr in self.allowed and category == "value":
+                        # per-file exemption: treated as a fragment so
+                        # the template is not reported as an injection
+                        category = "fragment"
+                    parts.append(Slot(expr=expr, category=category))
+            return SqlTemplate(parts=_fold(parts))
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+            left = self._resolve_template(node.left, local_env, seen)
+            right = self._resolve_template(node.right, local_env, seen)
+            if left is None or right is None:
+                return None
+            return SqlTemplate(
+                parts=_fold(list(left.parts) + list(right.parts)),
+                open_ended=left.open_ended or right.open_ended,
+            )
+        if isinstance(node, ast.Name):
+            value, augmented = self._lookup(node.id, local_env)
+            if value is None:
+                return None
+            resolved = self._resolve_template(value, local_env, seen)
+            if resolved is None:
+                return None
+            return SqlTemplate(parts=resolved.parts,
+                               open_ended=resolved.open_ended or augmented)
+        return None
+
+    # -- call-site parameters ------------------------------------------
+    def _param_info(self, call: ast.Call, method: str,
+                    local_env: Dict[str, List[ast.AST]]
+                    ) -> Tuple[Optional[int], Optional[Tuple[str, ...]], bool]:
+        """(positional arity, named keys, no-params) for a call."""
+        params_node: Optional[ast.AST] = None
+        if len(call.args) > 1:
+            params_node = call.args[1]
+        else:
+            for keyword in call.keywords:
+                if keyword.arg in ("params", "rows"):
+                    params_node = keyword.value
+        if params_node is None:
+            return (0, None, True) if method != "executemany" \
+                else (None, None, True)
+        if method == "executemany":
+            return self._row_arity(params_node, local_env), None, False
+        return self._tuple_arity(params_node, local_env)
+
+    def _tuple_arity(self, node: ast.AST,
+                     local_env: Dict[str, List[ast.AST]], depth: int = 0
+                     ) -> Tuple[Optional[int], Optional[Tuple[str, ...]], bool]:
+        if depth > 4:
+            return None, None, False
+        if isinstance(node, (ast.Tuple, ast.List)):
+            if any(isinstance(e, ast.Starred) for e in node.elts):
+                return None, None, False
+            return len(node.elts), None, False
+        if isinstance(node, ast.Dict):
+            keys = []
+            for key in node.keys:
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    keys.append(key.value)
+                else:
+                    return None, None, False
+            return None, tuple(keys), False
+        if isinstance(node, ast.Name):
+            value, _ = self._lookup(node.id, local_env)
+            if value is not None and not isinstance(value, ast.AugAssign):
+                return self._tuple_arity(value, local_env, depth + 1)
+        return None, None, False
+
+    def _row_arity(self, node: ast.AST,
+                   local_env: Dict[str, List[ast.AST]], depth: int = 0
+                   ) -> Optional[int]:
+        if depth > 4:
+            return None
+        if isinstance(node, ast.ListComp) and \
+                isinstance(node.elt, ast.Tuple):
+            return len(node.elt.elts)
+        if isinstance(node, (ast.List, ast.Tuple)) and node.elts and \
+                all(isinstance(e, ast.Tuple) for e in node.elts):
+            lengths = {len(e.elts) for e in node.elts}
+            return lengths.pop() if len(lengths) == 1 else None
+        if isinstance(node, ast.Name):
+            value, _ = self._lookup(node.id, local_env)
+            if value is not None and not isinstance(value, ast.AugAssign):
+                return self._row_arity(value, local_env, depth + 1)
+        return None
+
+    # -- rendering ------------------------------------------------------
+    def _render(self, template: SqlTemplate) -> List[str]:
+        if template.constant:
+            return ["".join(template.parts)]
+        categories = {slot.category for slot in template.slots}
+        if not categories <= _RENDERABLE:
+            return []
+        bean_anchored = any(
+            slot.expr.startswith(("self.", "bean_class."))
+            for slot in template.slots
+        )
+        if bean_anchored:
+            return [self._render_one(template, bean) for bean in self.beans]
+        if "table" in categories:
+            return [
+                self._render_one(template, None, table=table)
+                for table in schema.TABLES
+            ]
+        return [self._render_one(template, None)]
+
+    @staticmethod
+    def _render_one(template: SqlTemplate, bean: Optional[BeanInfo],
+                    table: Optional[str] = None) -> str:
+        columns = bean.insert_columns if bean else ()
+        pieces: List[str] = []
+        for part in template.parts:
+            if isinstance(part, str):
+                pieces.append(part)
+                continue
+            category = part.category
+            if category == "table":
+                pieces.append(bean.table if bean else (table or "jobs"))
+            elif category == "pk":
+                pieces.append(bean.pk if bean else "rowid")
+            elif category == "columns":
+                pieces.append(", ".join(columns))
+            elif category == "placeholders":
+                count = len(columns) if columns else 1
+                pieces.append(", ".join("?" for _ in range(count)))
+            elif category == "assignments":
+                names = [f for f in (bean.fields if bean else ())
+                         if bean and f != bean.pk] or ["rowid"]
+                pieces.append(", ".join(f"{name} = ?" for name in names))
+            elif category == "fragment":
+                pieces.append("1=1")
+            elif category == "int":
+                pieces.append("1")
+        return "".join(pieces)
+
+    # -- walking --------------------------------------------------------
+    def run(self) -> None:
+        self._visit_body(self.tree.body, func=None)
+        self._injection_scan()
+
+    def _visit_body(self, body: Sequence[ast.stmt],
+                    func: Optional[ast.AST]) -> None:
+        for statement in body:
+            self._visit_stmt(statement, func)
+
+    def _visit_stmt(self, node: ast.stmt, func: Optional[ast.AST]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._visit_body(node.body, func=node)
+            return
+        if isinstance(node, ast.ClassDef):
+            self._visit_body(node.body, func=func)
+            return
+        local_env = self._collect_assigns(func) if func is not None else {}
+        for child in ast.walk(node):
+            if isinstance(child, ast.Call):
+                self._visit_call(child, local_env)
+
+    def _visit_call(self, call: ast.Call,
+                    local_env: Dict[str, List[ast.AST]]) -> None:
+        if not isinstance(call.func, ast.Attribute):
+            return
+        method = call.func.attr
+        if method not in EXECUTE_METHODS or not call.args:
+            return
+        template = self._resolve_template(call.args[0], local_env)
+        if template is None:
+            return
+        if not _starts_with_verb(template.leading_text):
+            return
+        arity, named, no_params = self._param_info(call, method, local_env)
+        statement = ExtractedStatement(
+            file=self.rel,
+            line=call.lineno,
+            method=method,
+            template=template,
+            renders=self._render(template),
+            arity=arity,
+            named=named,
+            no_params=no_params,
+        )
+        self.statements.append(statement)
+        if not template.constant:
+            categories = {slot.category for slot in template.slots}
+            if categories <= _RENDERABLE:
+                self.findings.append(make_finding(
+                    "templated-sql", self.rel, call.lineno,
+                    "identifier template: " + _one_line(template.text),
+                    statement=template.text,
+                ))
+            else:
+                self.findings.append(make_finding(
+                    "dynamic-sql", self.rel, call.lineno,
+                    "non-constant SQL text: " + _one_line(template.text),
+                    statement=template.text,
+                ))
+
+    # -- injection rule -------------------------------------------------
+    def _injection_scan(self) -> None:
+        """The f-string value-interpolation rule.
+
+        Unlike extraction this scans *every* f-string whose constant
+        text looks like SQL, whether or not it reaches an execute call
+        in this module — building an injectable string is the defect,
+        not executing it here.
+        """
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.JoinedStr):
+                continue
+            text = "".join(
+                str(value.value) for value in node.values
+                if isinstance(value, ast.Constant)
+            )
+            if not _is_sql_text(text):
+                continue
+            offending = [
+                ast.unparse(value.value)
+                for value in node.values
+                if isinstance(value, ast.FormattedValue)
+                and ast.unparse(value.value) not in self.allowed
+            ]
+            for expr in offending:
+                self.findings.append(make_finding(
+                    "fstring-value-interpolation", self.rel, node.lineno,
+                    f"expression {expr!r} interpolated into SQL text",
+                    statement=_one_line(text),
+                ))
+
+
+def _fold(parts: Sequence[Union[str, Slot]]) -> Tuple[Union[str, Slot], ...]:
+    """Merge adjacent constant parts."""
+    folded: List[Union[str, Slot]] = []
+    for part in parts:
+        if isinstance(part, str) and folded and isinstance(folded[-1], str):
+            folded[-1] = folded[-1] + part
+        else:
+            folded.append(part)
+    return tuple(folded)
+
+
+def _one_line(text: str, limit: int = 120) -> str:
+    squeezed = " ".join(text.split())
+    return squeezed if len(squeezed) <= limit else squeezed[:limit] + "..."
+
+
+# ----------------------------------------------------------------------
+# entry point
+# ----------------------------------------------------------------------
+
+def iter_python_files(root: Path) -> List[Path]:
+    return sorted(p for p in Path(root).rglob("*.py"))
+
+
+def extract_corpus(root: Path) -> Corpus:
+    """Extract the full SQL corpus beneath ``root``.
+
+    File provenance is reported relative to ``root`` so baselines do not
+    depend on where the tree is checked out.
+    """
+    root = Path(root)
+    corpus = Corpus(root=root)
+    parsed: List[Tuple[str, ast.Module]] = []
+    for path in iter_python_files(root):
+        rel = path.relative_to(root).as_posix()
+        try:
+            tree = ast.parse(path.read_text(), filename=str(path))
+        except SyntaxError:
+            continue
+        parsed.append((rel, tree))
+    corpus.files_scanned = len(parsed)
+    corpus.beans = scan_beans(tree for _, tree in parsed)
+    for rel, tree in parsed:
+        extractor = _ModuleExtractor(tree, rel, corpus.beans)
+        extractor.run()
+        corpus.statements.extend(extractor.statements)
+        corpus.findings.extend(extractor.findings)
+    return corpus

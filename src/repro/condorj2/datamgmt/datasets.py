@@ -13,6 +13,7 @@ operational store.
 
 from __future__ import annotations
 
+import json
 from typing import Dict, List, Optional, Sequence
 
 from repro.condorj2.beans import BeanContainer
@@ -134,17 +135,20 @@ class DatasetService:
         """
         if not dataset_names:
             return []
-        placeholders = ",".join("?" for _ in dataset_names)
+        # The name set travels as one JSON parameter: constant statement
+        # text for any input size keeps the prepared-statement and plan
+        # caches warm (a per-cardinality IN-list would not).
         rows = self.container.db.query_all(
-            f"""
+            """
             SELECT r.machine_name
             FROM dataset_replicas r
             JOIN datasets d ON d.dataset_id = r.dataset_id
-            WHERE d.name IN ({placeholders}) AND r.state = 'valid'
+            WHERE d.name IN (SELECT value FROM json_each(?))
+              AND r.state = 'valid'
             GROUP BY r.machine_name
             HAVING COUNT(DISTINCT d.dataset_id) = ?
             ORDER BY r.machine_name
             """,
-            list(dataset_names) + [len(set(dataset_names))],
+            (json.dumps(list(dataset_names)), len(set(dataset_names))),
         )
         return [row["machine_name"] for row in rows]

@@ -12,6 +12,7 @@ a query.
 
 from __future__ import annotations
 
+import json
 from typing import Dict, List, Optional, Sequence, Set
 
 from repro.condorj2.beans import BeanContainer
@@ -107,13 +108,19 @@ class ProvenanceService:
         return [row["output_name"] for row in rows]
 
     def executables_used(self, owner_job_ids: Sequence[int]) -> List[str]:
-        """Distinct executables recorded for the given jobs."""
+        """Distinct executables recorded for the given jobs.
+
+        The id set travels as one JSON parameter so the statement text is
+        constant for any batch size — a growing ``IN (?, ?, ...)`` list
+        would mint a new text per cardinality and churn the prepared-
+        statement and plan caches (the analyzer's ``dynamic-sql`` rule).
+        """
         if not owner_job_ids:
             return []
-        placeholders = ",".join("?" for _ in owner_job_ids)
         rows = self.container.db.query_all(
-            f"SELECT DISTINCT executable FROM provenance "
-            f"WHERE job_id IN ({placeholders}) ORDER BY executable",
-            list(owner_job_ids),
+            "SELECT DISTINCT executable FROM provenance "
+            "WHERE job_id IN (SELECT value FROM json_each(?)) "
+            "ORDER BY executable",
+            (json.dumps(list(owner_job_ids)),),
         )
         return [row["executable"] for row in rows]

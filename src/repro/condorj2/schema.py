@@ -96,6 +96,10 @@ SCHEMA_STATEMENTS = [
         boot_count    INTEGER NOT NULL DEFAULT 0
     )
     """,
+    # The liveness sweep updates machines by state (alive -> missing past
+    # the heartbeat deadline); the leading state column lets that pass
+    # probe instead of scanning the whole machine table.
+    "CREATE INDEX idx_machines_state ON machines(state, last_heartbeat)",
     """
     CREATE TABLE vms (
         vm_id         TEXT PRIMARY KEY,
@@ -147,6 +151,11 @@ SCHEMA_STATEMENTS = [
     "CREATE INDEX idx_job_history_owner ON job_history(owner)",
     # Throughput-by-minute reports scan completions in time order.
     "CREATE INDEX idx_job_history_completed ON job_history(completed_at)",
+    # Failure reports probe by outcome (drops-by-machine filters
+    # final_state = 'dropped'); covering (vm_id) so the group key comes
+    # from the index too.  Flagged by the static index advisor before it
+    # existed.
+    "CREATE INDEX idx_job_history_state ON job_history(final_state, vm_id)",
     """
     CREATE TABLE machine_boot_history (
         boot_id       INTEGER PRIMARY KEY AUTOINCREMENT,
@@ -187,6 +196,11 @@ SCHEMA_STATEMENTS = [
         changed_by    TEXT NOT NULL
     )
     """,
+    # Per-policy audit trail: history/value_at probe by policy_name and
+    # order by change_id — (policy_name, change_id) serves both from one
+    # index.  Flagged by the static index advisor before it existed.
+    "CREATE INDEX idx_config_history_policy "
+    "ON config_history(policy_name, change_id)",
     """
     CREATE TABLE accounting (
         record_id     INTEGER PRIMARY KEY AUTOINCREMENT,
@@ -232,6 +246,8 @@ SCHEMA_STATEMENTS = [
     )
     """,
     "CREATE INDEX idx_provenance_output ON provenance(output_name)",
+    # executables_used probes provenance by job id sets (json_each).
+    "CREATE INDEX idx_provenance_job ON provenance(job_id)",
 ]
 
 # ----------------------------------------------------------------------
@@ -407,6 +423,9 @@ TABLE_DEFS: Tuple[TableDef, ...] = (
             _col("boot_count", "INTEGER", not_null=True, default=0),
         ),
         primary_key=("machine_name",),
+        indexes=(
+            IndexDef("idx_machines_state", ("state", "last_heartbeat")),
+        ),
     ),
     TableDef(
         name="vms",
@@ -477,6 +496,7 @@ TABLE_DEFS: Tuple[TableDef, ...] = (
         indexes=(
             IndexDef("idx_job_history_owner", ("owner",)),
             IndexDef("idx_job_history_completed", ("completed_at",)),
+            IndexDef("idx_job_history_state", ("final_state", "vm_id")),
         ),
     ),
     TableDef(
@@ -529,6 +549,10 @@ TABLE_DEFS: Tuple[TableDef, ...] = (
         ),
         primary_key=("change_id",),
         autoincrement=True,
+        indexes=(
+            IndexDef("idx_config_history_policy",
+                     ("policy_name", "change_id")),
+        ),
     ),
     TableDef(
         name="accounting",
@@ -587,7 +611,10 @@ TABLE_DEFS: Tuple[TableDef, ...] = (
         ),
         primary_key=("prov_id",),
         autoincrement=True,
-        indexes=(IndexDef("idx_provenance_output", ("output_name",)),),
+        indexes=(
+            IndexDef("idx_provenance_output", ("output_name",)),
+            IndexDef("idx_provenance_job", ("job_id",)),
+        ),
     ),
 )
 

@@ -86,6 +86,12 @@ class StatementCounts:
     #: Per-table row traffic: ``{table: {verb: rows}}`` with lower-cased
     #: verb keys mirroring the scalar counters.
     tables: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: Per-statement-text dispatch counts: ``{sql: dispatches}``.  This
+    #: is the runtime statement ledger the static analyzer's coverage
+    #: test audits itself against — every text that reached an engine
+    #: must be accounted for by the source-tree extractor.  DDL run via
+    #: ``run_script`` is deliberately absent (uncounted housekeeping).
+    texts: Dict[str, int] = field(default_factory=dict)
 
     def total(self) -> int:
         """All verb work — row touches, not dispatches (commits excluded).
@@ -130,10 +136,16 @@ class StatementCounts:
             fsyncs=self.fsyncs,
             checkpoints=self.checkpoints,
             tables={table: dict(verbs) for table, verbs in self.tables.items()},
+            texts=dict(self.texts),
         )
 
     def delta(self, earlier: "StatementCounts") -> "StatementCounts":
         """Counts accumulated since ``earlier``."""
+        texts = {
+            sql: count - earlier.texts.get(sql, 0)
+            for sql, count in self.texts.items()
+            if count - earlier.texts.get(sql, 0)
+        }
         tables: Dict[str, Dict[str, int]] = {}
         for table, verbs in self.tables.items():
             old = earlier.tables.get(table, {})
@@ -164,6 +176,7 @@ class StatementCounts:
             fsyncs=self.fsyncs - earlier.fsyncs,
             checkpoints=self.checkpoints - earlier.checkpoints,
             tables=tables,
+            texts=texts,
         )
 
     def merge(self, other: "StatementCounts") -> "StatementCounts":
@@ -178,6 +191,9 @@ class StatementCounts:
             mine = tables.setdefault(table, {})
             for verb, count in verbs.items():
                 mine[verb] = mine.get(verb, 0) + count
+        texts = dict(self.texts)
+        for sql, count in other.texts.items():
+            texts[sql] = texts.get(sql, 0) + count
         return StatementCounts(
             select=self.select + other.select,
             insert=self.insert + other.insert,
@@ -198,6 +214,7 @@ class StatementCounts:
             fsyncs=self.fsyncs + other.fsyncs,
             checkpoints=self.checkpoints + other.checkpoints,
             tables=tables,
+            texts=texts,
         )
 
     # ------------------------------------------------------------------
@@ -223,6 +240,10 @@ class StatementCounts:
         verbs = self.tables.setdefault(table, {})
         key = verb.lower() if verb in ("SELECT",) + WRITE_VERBS else "other"
         verbs[key] = verbs.get(key, 0) + rows
+
+    def record_text(self, sql: str) -> None:
+        """Tick the per-statement-text dispatch ledger for ``sql``."""
+        self.texts[sql] = self.texts.get(sql, 0) + 1
 
 
 _WORD = re.compile(r"'(?:[^']|'')*'|[A-Za-z_][A-Za-z0-9_]*|\(|\)")

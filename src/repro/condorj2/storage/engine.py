@@ -106,6 +106,7 @@ class StorageEngine(ABC):
         self._admit(sql)
         verb = statement_verb(sql)
         self.counts.statements += 1
+        self.counts.record_text(sql)
         plan = self._admit_plan(sql)
         try:
             cursor = self._execute_raw(sql, params, plan)
@@ -138,6 +139,7 @@ class StorageEngine(ABC):
         self.counts.record(verb, len(materialized))
         self.counts.statements += 1
         self.counts.batches += 1
+        self.counts.record_text(sql)
         plan = self._admit_plan(sql)
         try:
             cursor = self._executemany_raw(sql, materialized, plan)

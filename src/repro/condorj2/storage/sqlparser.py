@@ -16,9 +16,10 @@ The parser is deliberately strict: SQL outside the dialect raises
 
 from __future__ import annotations
 
+import dataclasses
 import re
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
 
 class SqlSyntaxError(Exception):
@@ -726,3 +727,68 @@ def parse(sql: str) -> Any:
     """Parse one statement; raises :class:`SqlSyntaxError` when outside
     the dialect."""
     return _Parser(sql).parse_statement()
+
+
+# ----------------------------------------------------------------------
+# parse-only / analysis API
+# ----------------------------------------------------------------------
+# The static-analysis subsystem (:mod:`repro.condorj2.analysis`) needs to
+# look at statements without executing them: a generic walker over the
+# AST dataclasses above (descending into nested SELECTs, unlike the
+# planner's expression-local helpers) and a parse entry point that also
+# reports the statement's bind-parameter surface.
+
+def walk(node: Any) -> Iterator[Any]:
+    """Depth-first traversal of a statement AST, nested SELECTs included.
+
+    Works structurally off the dataclass fields, so new node shapes are
+    covered without registration; plain lists/tuples of nodes are
+    descended into, scalars are yielded as-is only when they are AST
+    dataclasses.
+    """
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, (list, tuple)):
+            stack.extend(current)
+            continue
+        if not dataclasses.is_dataclass(current):
+            continue
+        yield current
+        for field_def in dataclasses.fields(current):
+            stack.append(getattr(current, field_def.name))
+
+
+@dataclass(frozen=True)
+class ParsedStatement:
+    """The parse-only view of one statement: its AST plus the bind
+    surface the access layer must satisfy at execution time."""
+
+    sql: str
+    ast: Any
+    #: Number of positional ``?`` placeholders.
+    placeholder_count: int
+    #: Names of ``:name`` placeholders, in first-appearance order.
+    named_params: Tuple[str, ...]
+
+
+def parse_info(sql: str) -> ParsedStatement:
+    """Parse ``sql`` and report its placeholder surface.
+
+    Raises :class:`SqlSyntaxError` when outside the dialect — the same
+    strictness as :func:`parse`, which is what makes the static checker
+    honest: a statement the analyzer accepts is one the engines execute.
+    """
+    parser = _Parser(sql)
+    ast = parser.parse_statement()
+    named: List[str] = []
+    for node in walk(ast):
+        if isinstance(node, Param) and node.name is not None:
+            if node.name not in named:
+                named.append(node.name)
+    return ParsedStatement(
+        sql=sql,
+        ast=ast,
+        placeholder_count=parser.param_index,
+        named_params=tuple(named),
+    )

@@ -1,4 +1,4 @@
-"""Grep-style lint: no SQL built by interpolating *values* into f-strings.
+"""No SQL built by interpolating *values* into f-strings.
 
 The pre-refactor scheduler gated dependencies with
 ``f"SELECT COUNT(*) ... IN ({depends_on})"`` — an injection-prone
@@ -6,108 +6,86 @@ interpolation of a database value into SQL text.  The normalized
 ``job_dependencies`` table removed it; this lint keeps it (and anything
 like it) from coming back.
 
-The bean container legitimately interpolates *identifiers* (table and
-column names drawn from class-level schema constants) and placeholder
-lists (``"?, ?"`` strings) — those are allow-listed by the exact
-expression text, so any new interpolation site fails the lint until it
-is reviewed and either parameterized or added here.
+The rule now lives in the static-analysis framework
+(:mod:`repro.condorj2.analysis`) as ``fstring-value-interpolation``,
+sharing its SQL-marker heuristic and identifier allow-list
+(``SLOT_CATEGORIES`` — the bean container's schema-constant identifiers
+and placeholder lists — plus per-file exemptions for the parser's
+diagnostics).  This module is the tier-1 hook that runs the rule over
+the whole source tree, wider than the analyzer's default package root.
 """
 
 import ast
+import textwrap
 from pathlib import Path
+
+from repro.condorj2.analysis.extract import (
+    ALLOWED_BY_FILE_SUFFIX,
+    SLOT_CATEGORIES,
+    SQL_MARKERS,
+    extract_corpus,
+)
 
 SRC_ROOT = Path(__file__).resolve().parents[2] / "src" / "repro"
 
-#: Substrings (upper-cased) that mark an f-string as SQL-bearing.
-SQL_MARKERS = (
-    "SELECT ", "INSERT ", "UPDATE ", "DELETE ", " FROM ", " WHERE ",
-    " VALUES ",
-)
-
-#: Exact expression texts allowed inside SQL f-strings: schema-constant
-#: identifiers and placeholder/assignment lists built from ``?`` tokens.
-ALLOWED_EXPRESSIONS = {
-    # bean container: identifiers from class-level schema constants
-    "self.TABLE", "self.PK",
-    "bean_class.TABLE", "bean_class.PK",
-    # bean container: "?"-lists and "col = ?"-lists
-    "assignments", "columns", "column_list", "placeholders",
-    # finder-method API: caller-supplied parameterized clause fragments
-    "where", "order_by", "int(limit)",
-    # access layer: identifier validated against the schema
-    "table",
-}
-
-#: Per-file exemptions, for expressions too generic to allow globally.
-#: The SQL parser's error messages quote the *rejected* statement and
-#: the offending token — text that is never executed as SQL.
-ALLOWED_EXPRESSIONS_BY_FILE = {
-    "condorj2/storage/sqlparser.py": {
-        "self.sql", "self.peek().value", "token.value",
-    },
-}
-
-
-def _sql_fstrings(tree):
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.JoinedStr):
-            continue
-        literal = "".join(
-            part.value
-            for part in node.values
-            if isinstance(part, ast.Constant) and isinstance(part.value, str)
-        ).upper()
-        if any(marker in literal for marker in SQL_MARKERS):
-            yield node
-
 
 def _violations(root):
-    found = []
-    for path in sorted(root.rglob("*.py")):
-        relative = path.relative_to(root).as_posix()
-        allowed = ALLOWED_EXPRESSIONS | ALLOWED_EXPRESSIONS_BY_FILE.get(
-            relative, set()
-        )
-        tree = ast.parse(path.read_text(), filename=str(path))
-        for node in _sql_fstrings(tree):
-            for part in node.values:
-                if not isinstance(part, ast.FormattedValue):
-                    continue
-                expression = ast.unparse(part.value)
-                if expression not in allowed:
-                    found.append(
-                        f"{path.relative_to(root.parent)}:{node.lineno}: "
-                        f"{{{expression}}} interpolated into SQL"
-                    )
-    return found
+    corpus = extract_corpus(root)
+    return [f for f in corpus.findings
+            if f.rule == "fstring-value-interpolation"]
 
 
 def test_no_value_interpolation_into_sql():
     violations = _violations(SRC_ROOT)
     assert violations == [], (
         "SQL must be parameterized (or the identifier expression "
-        "reviewed and allow-listed):\n" + "\n".join(violations)
+        "reviewed and allow-listed in SLOT_CATEGORIES):\n"
+        + "\n".join(v.render() for v in violations)
     )
 
 
-def test_lint_catches_the_original_offender():
+def test_lint_catches_the_original_offender(tmp_path):
     """The exact pattern removed from scheduling.py:71 must be flagged."""
-    offender = ast.parse(
-        'db.scalar(f"SELECT COUNT(*) FROM jobs WHERE job_id IN ({depends_on})")'
-    )
-    nodes = list(_sql_fstrings(offender))
-    assert len(nodes) == 1
-    expressions = [
-        ast.unparse(part.value)
-        for part in nodes[0].values
-        if isinstance(part, ast.FormattedValue)
-    ]
-    assert expressions == ["depends_on"]
-    assert all(expr not in ALLOWED_EXPRESSIONS for expr in expressions)
+    (tmp_path / "offender.py").write_text(textwrap.dedent('''
+        def gate(db, depends_on):
+            return db.scalar(
+                f"SELECT COUNT(*) FROM jobs WHERE job_id IN ({depends_on})"
+            )
+        '''))
+    violations = _violations(tmp_path)
+    assert len(violations) == 1
+    violation = violations[0]
+    assert violation.severity == "error"
+    assert violation.file == "offender.py"
+    assert "'depends_on'" in violation.message
+    assert "depends_on" not in SLOT_CATEGORIES
+
+
+def test_allow_lists_match_the_bean_container_idiom():
+    """The allow-list is exactly the reviewed identifier expressions."""
+    assert set(SLOT_CATEGORIES) == {
+        "self.TABLE", "self.PK", "bean_class.TABLE", "bean_class.PK",
+        "assignments", "columns", "column_list", "placeholders",
+        "where", "order_by", "int(limit)", "table",
+    }
+    assert ALLOWED_BY_FILE_SUFFIX == {
+        "storage/sqlparser.py": {
+            "self.sql", "self.peek().value", "token.value",
+        },
+    }
 
 
 def test_scheduling_module_has_no_fstring_sql():
     """The scheduling pass is pure parameterized SQL, no f-strings at all."""
     path = SRC_ROOT / "condorj2" / "logic" / "scheduling.py"
     tree = ast.parse(path.read_text(), filename=str(path))
-    assert list(_sql_fstrings(tree)) == []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.JoinedStr):
+            continue
+        literal = "".join(
+            part.value for part in node.values
+            if isinstance(part, ast.Constant) and isinstance(part.value, str)
+        )
+        assert not any(marker in literal for marker in SQL_MARKERS), (
+            f"scheduling.py:{node.lineno} builds SQL with an f-string"
+        )
