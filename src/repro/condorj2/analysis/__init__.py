@@ -6,8 +6,10 @@ into a checkable property.  It extracts the complete statement corpus
 from the Python sources (:mod:`extract`), validates each statement
 against the declared schema with the engines' own parser
 (:mod:`check`), applies the planner's costing rules to flag
-index-less equality access (:mod:`advisor`), and gates CI on the
-result (:mod:`cli`, ``python -m repro.condorj2.analysis``).
+index-less equality access (:mod:`advisor`), reasons across statements
+about declared lifecycles (:mod:`lifecycle`) and transaction
+boundaries (:mod:`txn`), and gates CI on the result (:mod:`cli`,
+``python -m repro.condorj2.analysis``).
 """
 
 from repro.condorj2.analysis.check import Catalog, check_extracted
@@ -17,6 +19,13 @@ from repro.condorj2.analysis.extract import (
 )
 from repro.condorj2.analysis.findings import (
     RULES, SEVERITIES, Baseline, Finding, sort_findings,
+)
+from repro.condorj2.analysis.lifecycle import (
+    TableGraph, build_graphs, check_lifecycles, graphs_to_dot,
+    graphs_to_json, transition_coverage,
+)
+from repro.condorj2.analysis.txn import (
+    TxnModel, build_txn_model, check_transactions,
 )
 
 __all__ = [
@@ -28,9 +37,18 @@ __all__ = [
     "RULES",
     "SEVERITIES",
     "SqlTemplate",
+    "TableGraph",
+    "TxnModel",
     "analyze",
+    "build_graphs",
+    "build_txn_model",
     "check_extracted",
+    "check_lifecycles",
+    "check_transactions",
     "extract_corpus",
+    "graphs_to_dot",
+    "graphs_to_json",
     "main",
     "sort_findings",
+    "transition_coverage",
 ]

@@ -23,16 +23,26 @@ from repro.condorj2.analysis.extract import Corpus, extract_corpus
 from repro.condorj2.analysis.findings import (
     SEVERITIES, Baseline, Finding, sort_findings,
 )
+from repro.condorj2.analysis.lifecycle import (
+    build_graphs, check_lifecycles, graphs_to_dot, graphs_to_json,
+)
+from repro.condorj2.analysis.txn import check_transactions
 
 
 def analyze(root: Path, catalog: Optional[Catalog] = None
             ) -> Tuple[Corpus, List[Finding]]:
-    """Extract and check everything under ``root``."""
+    """Extract and check everything under ``root``.
+
+    Runs all three tiers: the per-statement schema checks, the
+    cross-statement lifecycle pass and the transaction-boundary pass.
+    """
     corpus = extract_corpus(root)
     catalog = catalog or Catalog()
     findings: List[Finding] = list(corpus.findings)
     for statement in corpus.statements:
         findings.extend(check_extracted(statement, catalog))
+    findings.extend(check_lifecycles(corpus))
+    findings.extend(check_transactions(root))
     return corpus, sort_findings(findings)
 
 
@@ -67,6 +77,45 @@ def _gating(new_findings: Sequence[Finding], fail_on: str) -> List[Finding]:
     return [f for f in new_findings if f.severity in threshold]
 
 
+def _transitions_report(args: argparse.Namespace) -> int:
+    """``--report transitions``: emit the lifecycle transition graphs.
+
+    Text format prints one line per declared or implied edge, annotated
+    with its implementation status; JSON is the
+    :func:`graphs_to_json` document; ``--dot`` adds Graphviz output.
+    Always exits 0 — gating stays with the findings report.
+    """
+    corpus = extract_corpus(args.root)
+    graphs, _ = build_graphs(corpus)
+    document = graphs_to_json(graphs)
+    if args.output is not None:
+        args.output.write_text(json.dumps(document, indent=2) + "\n")
+    if args.dot is not None:
+        args.dot.write_text(graphs_to_dot(graphs))
+    if args.format == "json":
+        print(json.dumps(document, indent=2))
+        return 0
+    for entry in document["tables"]:
+        table = entry["table"]
+        implied = {(e["from"], e["to"]): e["sites"] for e in entry["implied"]}
+        print(f"{table} ({entry['column']}): "
+              f"states {', '.join(entry['states'])}")
+        for source, target in entry["declared"]:
+            if (source, target) in implied:
+                status = "implemented at " + "; ".join(
+                    implied[source, target])
+            elif source in entry["dynamic_sources"]:
+                status = "dynamic (parameter-bound write)"
+            else:
+                status = "declared only (runtime-ledger covered)"
+            print(f"  {source} -> {target}  [{status}]")
+        for (source, target), sites in sorted(implied.items()):
+            if [source, target] not in entry["declared"] and source != target:
+                print(f"  {source} -> {target}  [ILLEGAL, implied at "
+                      f"{'; '.join(sites)}]")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.condorj2.analysis",
@@ -91,7 +140,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--fail-on", choices=("error", "warning", "any", "none"),
         default="error",
         help="minimum new-finding severity that fails the run")
+    parser.add_argument(
+        "--report", choices=("findings", "transitions"), default="findings",
+        help="'transitions' emits the per-table lifecycle transition "
+             "graphs instead of gating on findings")
+    parser.add_argument(
+        "--dot", type=Path, default=None,
+        help="also write the transition graphs as Graphviz DOT here")
     args = parser.parse_args(argv)
+
+    if args.report == "transitions":
+        return _transitions_report(args)
 
     corpus, findings = analyze(args.root)
 
@@ -108,6 +167,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.output is not None:
         args.output.write_text(json.dumps(report, indent=2) + "\n")
+    if args.dot is not None:
+        graphs, _ = build_graphs(corpus)
+        args.dot.write_text(graphs_to_dot(graphs))
     if args.format == "json":
         print(json.dumps(report, indent=2))
     else:

@@ -78,6 +78,29 @@ RULES: Dict[str, Tuple[str, str]] = {
     "full-scan": (
         "advice", "equality predicate has no supporting index; the "
                   "driver is a full scan"),
+    # -- lifecycle tier (cross-statement; DESIGN.md section 9) ---------
+    "illegal-transition": (
+        "error", "statement implies a state transition the declared "
+                 "lifecycle forbids"),
+    "unguarded-state-write": (
+        "error", "UPDATE writes a lifecycle state column with no "
+                 "state=/state IN predicate in WHERE"),
+    "unimplemented-transition": (
+        "advice", "declared lifecycle transition no constant statement "
+                  "implements (bean-layer paths are runtime-checked)"),
+    "dead-state": (
+        "advice", "declared lifecycle state no statement can write"),
+    # -- transaction-boundary tier -------------------------------------
+    "txn-unprotected-write": (
+        "error", "multi-table write sequence can run outside any "
+                 "transaction scope"),
+    "txn-split-transition": (
+        "error", "lifecycle state transition and its companion writes "
+                 "span separate transaction scopes"),
+    "txn-nested": (
+        "warning", "redundant lexically nested transaction scope, or "
+                   "direct engine transaction control outside the "
+                   "access layer"),
 }
 
 

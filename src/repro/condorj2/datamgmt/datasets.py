@@ -79,7 +79,8 @@ class DatasetService:
         """Mark one replica stale (e.g. the machine was re-imaged)."""
         self.container.db.execute(
             "UPDATE dataset_replicas SET state = 'stale' "
-            "WHERE dataset_id = ? AND machine_name = ?",
+            "WHERE dataset_id = ? AND machine_name = ? "
+            "AND state IN ('valid', 'transferring')",
             (dataset_id, machine_name),
         )
 

@@ -108,11 +108,24 @@ class HeartbeatService:
         with self.container.db.transaction():
             refreshed = self.container.db.execute(
                 "UPDATE machines SET last_heartbeat = ?, state = 'alive' "
-                "WHERE machine_name = ?",
+                "WHERE machine_name = ? AND state IN ('alive', 'missing')",
                 (now, machine_name),
             )
             if refreshed.rowcount == 0:
-                raise BeanNotFound(f"machines[{machine_name!r}] not found")
+                # Guard miss: the machine is unknown, or an operator
+                # quarantined it ('offline') and a heartbeat must not
+                # silently resurrect it.  Only this failure path pays
+                # the disambiguating SELECT.
+                known = self.container.db.scalar(
+                    "SELECT COUNT(*) FROM machines WHERE machine_name = ?",
+                    (machine_name,),
+                )
+                if not known:
+                    raise BeanNotFound(f"machines[{machine_name!r}] not found")
+                raise BeanStateError(
+                    f"machines[{machine_name!r}] is offline; heartbeats "
+                    f"cannot revive a quarantined machine"
+                )
             # Job events first: completions free VMs for new matches.
             self._apply_events(payload.get("events", ()), now)
             vm_updates: List[Tuple[str, float, str]] = []
@@ -124,8 +137,11 @@ class HeartbeatService:
                     )
                 vm_updates.append((state, now, vm_info["vm_id"]))
             if vm_updates:
+                # Reported states only apply to live slots: a quarantined
+                # ('offline') VM keeps its state until re-enabled.
                 self.container.db.executemany(
-                    "UPDATE vms SET state = ?, last_update = ? WHERE vm_id = ?",
+                    "UPDATE vms SET state = ?, last_update = ? "
+                    "WHERE vm_id = ? AND state IN ('idle', 'claiming', 'busy')",
                     vm_updates,
                 )
         matches = self._pending_matches(machine_name)
@@ -191,7 +207,8 @@ class HeartbeatService:
             self.lifecycle.complete_jobs(completions, now)
         if started_vms:
             self.container.db.executemany(
-                "UPDATE vms SET state = 'busy', last_update = ? WHERE vm_id = ?",
+                "UPDATE vms SET state = 'busy', last_update = ? "
+                "WHERE vm_id = ? AND state IN ('claiming', 'busy')",
                 started_vms,
             )
 

@@ -59,11 +59,15 @@ class LifecycleService:
                 raise BeanStateError(
                     f"jobs[{job_id!r}]: illegal transition to 'running'"
                 )
-            self.container.db.execute(
+            claimed = self.container.db.execute(
                 "UPDATE vms SET state = 'claiming', last_update = ? "
-                "WHERE vm_id = ?",
+                "WHERE vm_id = ? AND state = 'idle'",
                 (now, vm_id),
             )
+            if claimed.rowcount == 0:
+                raise BeanStateError(
+                    f"vms[{vm_id!r}]: cannot claim a non-idle slot"
+                )
         self.log.record(now, "job_started", job_id=job_id, vm_id=vm_id)
         return {"job_id": job_id, "vm_id": vm_id, "status": "OK"}
 
@@ -86,7 +90,8 @@ class LifecycleService:
                 (job_id,),
             )
             self.container.db.execute(
-                "UPDATE vms SET state = 'idle', last_update = ? WHERE vm_id = ?",
+                "UPDATE vms SET state = 'idle', last_update = ? "
+                "WHERE vm_id = ? AND state IN ('claiming', 'busy')",
                 (now, vm_id),
             )
         self.log.record(now, "job_dropped", job_id=job_id, vm_id=vm_id, reason=reason)
@@ -178,11 +183,15 @@ class LifecycleService:
             )
             # Deleting the job tuple cascades its dependency edges; jobs
             # waiting on it now pass the scheduling pass's anti-join.
+            # The whole batch was validated 'running' above, inside this
+            # transaction, so the state guards cannot drop rows.
             db.executemany(
-                "DELETE FROM jobs WHERE job_id = ?", [(j,) for j in job_ids]
+                "DELETE FROM jobs WHERE job_id = ? AND state = 'running'",
+                [(j,) for j in job_ids]
             )
             db.executemany(
-                "UPDATE vms SET state = 'idle', last_update = ? WHERE vm_id = ?",
+                "UPDATE vms SET state = 'idle', last_update = ? "
+                "WHERE vm_id = ? AND state IN ('claiming', 'busy')",
                 [(now, vm_id) for _, vm_id in completions],
             )
         for job_id, vm_id in completions:

@@ -27,7 +27,7 @@ the job into history).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Optional, Tuple
+from typing import Any, Dict, FrozenSet, Mapping, Optional, Tuple
 
 #: Ordered DDL statements; executed once at database creation.
 SCHEMA_STATEMENTS = [
@@ -641,4 +641,125 @@ JOB_TRANSITIONS = {
     "completed": set(),
     "removed": set(),
     "held": {"idle", "removed"},
+}
+
+
+# ----------------------------------------------------------------------
+# Lifecycle machines.  The CHECK constraints above pin each entity's
+# *state domain*; the declarations below add the *transition relation* —
+# which (from, to) state changes the code paths are allowed to perform.
+# The static analyzer checks every extracted statement against this
+# relation, and the storage layer's runtime transition ledger is
+# cross-checked against it, so the state machines are enforced in both
+# directions (DESIGN.md section 9).
+
+#: Pseudo-states bounding every lifecycle: an INSERT is the edge
+#: ``BORN -> state``, a DELETE is the edge ``state -> GONE``, so row
+#: creation and removal live in the same graph as state changes.
+BORN = "(new)"
+GONE = "(gone)"
+
+
+@dataclass(frozen=True)
+class LifecycleDef:
+    """One lifecycle machine: a table whose state column must walk an
+    explicit transition relation.
+
+    ``states`` is the CHECK IN-domain of the column (single source of
+    truth: taken from the :class:`ColumnDef`), ``transitions`` maps each
+    state to the states it may move to, and ``create_states`` /
+    ``delete_states`` say which states rows may be born in and deleted
+    from.  Self-loop writes (refreshes that re-assert the current state)
+    are always legal and therefore not part of ``transitions``.
+    """
+
+    table: str
+    column: str
+    states: Tuple[str, ...]
+    transitions: Mapping[str, FrozenSet[str]]
+    create_states: FrozenSet[str]
+    delete_states: FrozenSet[str]
+
+    def allows(self, source: str, target: str) -> bool:
+        """Whether the edge ``source -> target`` is declared legal."""
+        if source == target and source in self.states:
+            return True
+        if source == BORN:
+            return target in self.create_states
+        if target == GONE:
+            return source in self.delete_states
+        return target in self.transitions.get(source, frozenset())
+
+    def edges(self) -> Tuple[Tuple[str, str], ...]:
+        """Every declared edge — creation and deletion included,
+        self-loops excluded (those are implicitly always legal)."""
+        out = [(BORN, state) for state in sorted(self.create_states)]
+        for source in self.states:
+            for target in sorted(self.transitions.get(source, frozenset())):
+                if target != source:
+                    out.append((source, target))
+        out.extend((state, GONE) for state in sorted(self.delete_states))
+        return tuple(out)
+
+    def state_edges(self) -> Tuple[Tuple[str, str], ...]:
+        """The declared state-to-state edges (no pseudo-states)."""
+        return tuple((source, target) for source, target in self.edges()
+                     if source != BORN and target != GONE)
+
+
+def _lifecycle(table: str, transitions: Dict[str, set],
+               create: Tuple[str, ...],
+               delete: Tuple[str, ...] = ()) -> LifecycleDef:
+    column = next(td for td in TABLE_DEFS if td.name == table).column("state")
+    return LifecycleDef(
+        table=table,
+        column="state",
+        states=column.check_in,
+        transitions={state: frozenset(transitions.get(state, ()))
+                     for state in column.check_in},
+        create_states=frozenset(create),
+        delete_states=frozenset(delete),
+    )
+
+
+#: The four lifecycle machines of section 4.2.3, keyed by table.
+#:
+#: * jobs — the paper's job state machine (JOB_TRANSITIONS verbatim).
+#:   Rows are born idle; the operational tuple is deleted on completion
+#:   (from ``running``, archived to ``job_history``) or removal (from
+#:   ``removed``, via the bean path).
+#: * machines — liveness: heartbeats keep a machine ``alive``, the sweep
+#:   moves it to ``missing``, and ``offline`` is an administrative
+#:   quarantine an operator may impose from either live state and that
+#:   only an explicit re-enable leaves.  Machine rows are never deleted.
+#: * vms — slot occupancy: ``idle -> claiming`` on acceptMatch, then to
+#:   ``busy`` (started event) and back to ``idle`` on completion/drop.
+#:   The startd's reported states may skip intermediate hops (delta
+#:   reporting), so reported edges among the live states are declared.
+#: * dataset_replicas — replica freshness: ``valid`` sours to ``stale``,
+#:   repair moves ``stale`` through ``transferring`` back to ``valid``
+#:   (or back to ``stale`` on a failed transfer).
+LIFECYCLES: Dict[str, LifecycleDef] = {
+    "jobs": _lifecycle(
+        "jobs", JOB_TRANSITIONS, create=("idle",),
+        delete=("running", "removed")),
+    "machines": _lifecycle(
+        "machines",
+        {"alive": {"missing", "offline"},
+         "missing": {"alive", "offline"},
+         "offline": {"alive"}},
+        create=("alive",)),
+    "vms": _lifecycle(
+        "vms",
+        {"idle": {"claiming", "busy", "offline"},
+         "claiming": {"idle", "busy", "offline"},
+         "busy": {"idle", "offline"},
+         "offline": {"idle"}},
+        create=("idle",)),
+    "dataset_replicas": _lifecycle(
+        "dataset_replicas",
+        {"valid": {"stale"},
+         "stale": {"transferring"},
+         "transferring": {"valid", "stale"}},
+        create=("valid", "transferring")),
 }

@@ -92,6 +92,14 @@ class StatementCounts:
     #: must be accounted for by the source-tree extractor.  DDL run via
     #: ``run_script`` is deliberately absent (uncounted housekeeping).
     texts: Dict[str, int] = field(default_factory=dict)
+    #: Lifecycle transition ledger: ``{table: {"from->to": rows}}`` —
+    #: the actual (from-state, to-state) edges DML walked on the four
+    #: lifecycle tables, including the ``(new)``/``(gone)`` pseudo-state
+    #: edges for row creation/deletion.  Recorded by the shared engine
+    #: base class (see ``storage/transitions.py``), so equal workloads
+    #: produce equal ledgers on every backend; a tier-1 test asserts the
+    #: observed edges are a subset of the declared ``LIFECYCLES`` graph.
+    transitions: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     def total(self) -> int:
         """All verb work — row touches, not dispatches (commits excluded).
@@ -137,6 +145,8 @@ class StatementCounts:
             checkpoints=self.checkpoints,
             tables={table: dict(verbs) for table, verbs in self.tables.items()},
             texts=dict(self.texts),
+            transitions={table: dict(edges)
+                         for table, edges in self.transitions.items()},
         )
 
     def delta(self, earlier: "StatementCounts") -> "StatementCounts":
@@ -156,6 +166,16 @@ class StatementCounts:
             }
             if diff:
                 tables[table] = diff
+        transitions: Dict[str, Dict[str, int]] = {}
+        for table, edges in self.transitions.items():
+            old = earlier.transitions.get(table, {})
+            diff = {
+                edge: count - old.get(edge, 0)
+                for edge, count in edges.items()
+                if count - old.get(edge, 0)
+            }
+            if diff:
+                transitions[table] = diff
         return StatementCounts(
             select=self.select - earlier.select,
             insert=self.insert - earlier.insert,
@@ -177,6 +197,7 @@ class StatementCounts:
             checkpoints=self.checkpoints - earlier.checkpoints,
             tables=tables,
             texts=texts,
+            transitions=transitions,
         )
 
     def merge(self, other: "StatementCounts") -> "StatementCounts":
@@ -194,6 +215,12 @@ class StatementCounts:
         texts = dict(self.texts)
         for sql, count in other.texts.items():
             texts[sql] = texts.get(sql, 0) + count
+        transitions = {table: dict(edges)
+                       for table, edges in self.transitions.items()}
+        for table, edges in other.transitions.items():
+            mine_edges = transitions.setdefault(table, {})
+            for edge, count in edges.items():
+                mine_edges[edge] = mine_edges.get(edge, 0) + count
         return StatementCounts(
             select=self.select + other.select,
             insert=self.insert + other.insert,
@@ -215,6 +242,7 @@ class StatementCounts:
             checkpoints=self.checkpoints + other.checkpoints,
             tables=tables,
             texts=texts,
+            transitions=transitions,
         )
 
     # ------------------------------------------------------------------
@@ -244,6 +272,15 @@ class StatementCounts:
     def record_text(self, sql: str) -> None:
         """Tick the per-statement-text dispatch ledger for ``sql``."""
         self.texts[sql] = self.texts.get(sql, 0) + 1
+
+    def record_transition(self, table: str, source: str, target: str,
+                          rows: int = 1) -> None:
+        """Attribute ``rows`` walks of the edge ``source -> target``."""
+        if rows <= 0:
+            return
+        edges = self.transitions.setdefault(table, {})
+        key = f"{source}->{target}"
+        edges[key] = edges.get(key, 0) + rows
 
 
 _WORD = re.compile(r"'(?:[^']|'')*'|[A-Za-z_][A-Za-z0-9_]*|\(|\)")

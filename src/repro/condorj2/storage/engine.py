@@ -27,6 +27,7 @@ import sqlite3
 from abc import ABC, abstractmethod
 from typing import Any, Iterable, List, Sequence, Tuple, Type
 
+from repro.condorj2.schema import BORN, LIFECYCLES
 from repro.condorj2.storage.counters import (
     StatementCounts,
     statement_table,
@@ -34,6 +35,11 @@ from repro.condorj2.storage.counters import (
 )
 from repro.condorj2.storage.planner import ExplainReport, PlanNode
 from repro.condorj2.storage.statements import PlanCache, PreparedStatementCache
+from repro.condorj2.storage.transitions import TransitionSpec, transition_spec
+
+#: Sentinel distinguishing "no cached probe plan" from a cached None
+#: (SQLite compiles natively, so its cached plan artifact *is* None).
+_UNCOMPILED = object()
 
 
 class DatabaseError(Exception):
@@ -64,6 +70,10 @@ class StorageEngine(ABC):
         self.counts = StatementCounts()
         self.statement_cache = PreparedStatementCache(statement_cache_size)
         self.plan_cache = PlanCache(statement_cache_size)
+        #: Side cache of compiled from-state probe plans (see
+        #: ``_probe_transition``) — deliberately not the shared plan
+        #: cache, whose hit/miss/eviction counters are pinned.
+        self._probe_plans: dict = {}
 
     # -- statement execution -------------------------------------------
     def _admit(self, sql: str) -> None:
@@ -101,6 +111,71 @@ class StorageEngine(ABC):
         """
         return None
 
+    # -- lifecycle transition ledger -----------------------------------
+    def _classify_transition(self, sql: str,
+                             verb: str) -> "TransitionSpec | None":
+        """The statement's :class:`TransitionSpec`, cheaply gated."""
+        if verb not in ("INSERT", "UPDATE", "DELETE"):
+            return None
+        if statement_table(sql) not in LIFECYCLES:
+            return None
+        return transition_spec(sql)
+
+    def _probe_transition(self, spec: TransitionSpec,
+                          params: Sequence[Any]) -> "dict | None":
+        """The from-state distribution of the rows ``params`` selects.
+
+        An *uncounted* internal read: it bypasses the statement and
+        plan caches and every counter, so the ledger's observability
+        never perturbs the accounted workload the differential fuzzer
+        compares.  Compiled probe plans are memoized in a side cache.
+        Returns ``{state: rows}``, or None when the probe cannot run
+        (the edge is then left unattributed rather than guessed).
+        """
+        plan = self._probe_plans.get(spec.probe_sql, _UNCOMPILED)
+        if plan is _UNCOMPILED:
+            plan = self._compile_plan(spec.probe_sql)
+            self._probe_plans[spec.probe_sql] = plan
+        try:
+            cursor = self._execute_raw(
+                spec.probe_sql, spec.probe_params(params), plan)
+            return {row["s"]: row["n"] for row in cursor.fetchall()}
+        except Exception:
+            return None
+
+    def _stage_transition(self, spec: TransitionSpec,
+                          params: Sequence[Any]) -> "dict | None":
+        """Pre-resolve from-states for one UPDATE/DELETE parameter row.
+
+        Runs *before* the statement (the pre-image is what names the
+        edge); the result is only folded into the ledger after the
+        statement succeeds.  Returns None on the lexical fast path — a
+        single-literal guard pins the from-state without a probe.
+        """
+        if spec.verb == "INSERT":
+            return None
+        if spec.single_guard is not None and not spec.dynamic_to:
+            return None
+        if spec.resolve_to(params) is None:
+            return None  # dynamic target expression: nothing to attribute
+        return self._probe_transition(spec, params)
+
+    def _settle_transition(self, spec: TransitionSpec, staged: "dict | None",
+                           params: Sequence[Any], rowcount: int) -> None:
+        """Fold one successful statement's edges into the ledger."""
+        target = spec.resolve_to(params)
+        if target is None:
+            return
+        affected = max(0, rowcount)
+        if spec.verb == "INSERT":
+            self.counts.record_transition(spec.table, BORN, target, affected)
+        elif staged is not None:
+            for source, rows in staged.items():
+                self.counts.record_transition(spec.table, source, target, rows)
+        elif spec.single_guard is not None:
+            self.counts.record_transition(
+                spec.table, spec.single_guard, target, affected)
+
     def execute(self, sql: str, params: Sequence[Any] = ()) -> Any:
         """Run one counted statement; returns a cursor-like object."""
         self._admit(sql)
@@ -108,6 +183,8 @@ class StorageEngine(ABC):
         self.counts.statements += 1
         self.counts.record_text(sql)
         plan = self._admit_plan(sql)
+        spec = self._classify_transition(sql, verb)
+        staged = self._stage_transition(spec, params) if spec else None
         try:
             cursor = self._execute_raw(sql, params, plan)
         except self.INTEGRITY_ERRORS as exc:
@@ -124,6 +201,8 @@ class StorageEngine(ABC):
             affected = max(0, cursor.rowcount)
         self.counts.record(verb, rows)
         self.counts.record_table(statement_table(sql), verb, affected)
+        if spec is not None:
+            self._settle_transition(spec, staged, params, cursor.rowcount)
         return cursor
 
     def executemany(self, sql: str, rows: Iterable[Sequence[Any]]) -> Any:
@@ -141,6 +220,15 @@ class StorageEngine(ABC):
         self.counts.batches += 1
         self.counts.record_text(sql)
         plan = self._admit_plan(sql)
+        spec = self._classify_transition(sql, verb)
+        staged_rows = None
+        if spec is not None and spec.verb != "INSERT":
+            # Per-row pre-images.  Probing the whole batch up front is
+            # exact for the batches the services issue (distinct keys
+            # per row); a batch whose later rows re-match earlier rows'
+            # writes would attribute those edges to the stale pre-image.
+            staged_rows = [self._stage_transition(spec, row)
+                           for row in materialized]
         try:
             cursor = self._executemany_raw(sql, materialized, plan)
         except self.INTEGRITY_ERRORS as exc:
@@ -150,7 +238,43 @@ class StorageEngine(ABC):
         else:
             affected = len(materialized)
         self.counts.record_table(statement_table(sql), verb, affected)
+        if spec is not None:
+            self._settle_batch(spec, staged_rows, materialized, affected)
         return cursor
+
+    def _settle_batch(self, spec: TransitionSpec, staged_rows: "list | None",
+                      materialized: Sequence[Sequence[Any]],
+                      affected: int) -> None:
+        """Fold one successful batch's edges into the ledger."""
+        if spec.verb == "INSERT":
+            if spec.to_state is not None:
+                # Uniform target: the aggregate rowcount is exact even
+                # under OR IGNORE (ignored rows never count).
+                self.counts.record_transition(
+                    spec.table, BORN, spec.to_state, affected)
+            elif not spec.or_ignore:
+                for row in materialized:
+                    target = spec.resolve_to(row)
+                    if target is not None:
+                        self.counts.record_transition(
+                            spec.table, BORN, target, 1)
+            return
+        if spec.single_guard is not None and not spec.dynamic_to:
+            # Lexical fast path: every matched row leaves the single
+            # guard state for the single literal target, so the
+            # aggregate rowcount attributes the whole batch at once.
+            self.counts.record_transition(
+                spec.table, spec.single_guard, spec.resolve_to(()), affected)
+            return
+        for row, staged in zip(materialized, staged_rows or ()):
+            if staged is None:
+                continue
+            target = spec.resolve_to(row)
+            if target is None:
+                continue
+            for source, rows_hit in staged.items():
+                self.counts.record_transition(
+                    spec.table, source, target, rows_hit)
 
     @abstractmethod
     def _execute_raw(self, sql: str, params: Sequence[Any],

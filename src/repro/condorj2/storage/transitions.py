@@ -1,0 +1,262 @@
+"""Classifying DML against the declared lifecycle machines.
+
+:func:`transition_spec` decides, from SQL text alone, whether a write
+statement touches the ``state`` column of one of the
+:data:`~repro.condorj2.schema.LIFECYCLES` tables and, if so, what can be
+known lexically: the target state (literal, parameter position, or the
+column default), the ``state = .. / state IN (..)`` guard literals in
+the WHERE clause, and the uncounted *probe* query that resolves the
+from-state distribution at runtime when the guard does not pin it.
+
+The spec is shared by two consumers that must agree:
+
+* the storage engines' runtime transition ledger
+  (:attr:`StatementCounts.transitions`) — every engine records through
+  the same base-class path, so equal workloads produce equal ledgers;
+* the static analyzer's lifecycle pass
+  (``repro.condorj2.analysis.lifecycle``), which turns the same specs
+  extracted from the source tree into the statically-implied transition
+  graph checked against the declaration.
+
+Classification is a pure function of the SQL text and sits on the write
+hot path, so it is memoized like the verb/table classifiers next door.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import repro.condorj2.storage.sqlparser as sp
+from repro.condorj2.schema import BORN, GONE, LIFECYCLES, TABLE_DEFS
+
+__all__ = [
+    "BORN",
+    "GONE",
+    "TransitionSpec",
+    "transition_spec",
+]
+
+
+@dataclass(frozen=True)
+class TransitionSpec:
+    """What one lifecycle-table write says about the state machine."""
+
+    table: str
+    #: 'INSERT' | 'UPDATE' | 'DELETE'
+    verb: str
+    #: Literal target state, when the statement pins one (INSERT value,
+    #: ``SET state = 'x'``, or the column default for an INSERT that
+    #: omits the column).  ``None`` when parameter-bound or dynamic.
+    to_state: Optional[str] = None
+    #: Positional index of a parameter-bound target state.
+    to_param: Optional[int] = None
+    #: Name of a named-parameter-bound target state.
+    to_named: Optional[str] = None
+    #: Literal ``state =``/``state IN`` guard in the WHERE clause;
+    #: ``None`` means the write is unguarded.
+    guard_states: Optional[Tuple[str, ...]] = None
+    #: Uncounted from-state probe (UPDATE/DELETE); ``None`` for INSERT.
+    probe_sql: Optional[str] = None
+    #: Index into the positional parameter list where the WHERE clause's
+    #: parameters begin (SET parameters precede them in bind order).
+    probe_param_start: int = 0
+    #: INSERT OR IGNORE — affected-row attribution is aggregate only.
+    or_ignore: bool = False
+
+    @property
+    def single_guard(self) -> Optional[str]:
+        """The sole guard literal, when the guard pins one from-state."""
+        if self.guard_states is not None and len(self.guard_states) == 1:
+            return self.guard_states[0]
+        return None
+
+    @property
+    def dynamic_to(self) -> bool:
+        """Target state not known lexically (parameter or expression)."""
+        return self.to_state is None
+
+    def resolve_to(self, params: Any) -> Optional[str]:
+        """The target state for one bound parameter row."""
+        if self.to_state is not None:
+            return self.to_state
+        try:
+            if self.to_param is not None:
+                return params[self.to_param]
+            if self.to_named is not None:
+                return params[self.to_named]
+        except (IndexError, KeyError, TypeError):
+            return None
+        return None
+
+    def probe_params(self, params: Any) -> Any:
+        """The parameters the probe statement binds."""
+        if isinstance(params, dict):
+            return params
+        return tuple(params)[self.probe_param_start:]
+
+
+def _conjuncts(node: Any) -> List[Any]:
+    """The top-level AND-chain of a WHERE expression."""
+    if isinstance(node, sp.Bin) and node.op.upper() == "AND":
+        return _conjuncts(node.left) + _conjuncts(node.right)
+    return [node]
+
+
+def _is_state_col(node: Any, table: str, column: str) -> bool:
+    return (isinstance(node, sp.Col) and node.name == column
+            and node.table in (None, table))
+
+
+def _guard_literals(where: Any, table: str,
+                    column: str) -> Optional[Tuple[str, ...]]:
+    """Literal states a WHERE clause pins the row's state to, if any."""
+    if where is None:
+        return None
+    for conjunct in _conjuncts(where):
+        if isinstance(conjunct, sp.Bin) and conjunct.op == "=":
+            left, right = conjunct.left, conjunct.right
+            if _is_state_col(left, table, column) and isinstance(right, sp.Lit):
+                return (str(right.value),)
+            if _is_state_col(right, table, column) and isinstance(left, sp.Lit):
+                return (str(left.value),)
+        if (isinstance(conjunct, sp.InList) and not conjunct.negated
+                and _is_state_col(conjunct.needle, table, column)
+                and all(isinstance(item, sp.Lit) for item in conjunct.items)):
+            return tuple(str(item.value) for item in conjunct.items)
+    return None
+
+
+def _positional_params(*nodes: Any) -> int:
+    count = 0
+    for node in nodes:
+        for child in sp.walk(node):
+            if isinstance(child, sp.Param) and child.index is not None:
+                count += 1
+    return count
+
+
+def _where_text(sql: str) -> Optional[str]:
+    """The statement's top-level WHERE clause text, lexically.
+
+    Scans outside string literals at parenthesis depth zero, so a WHERE
+    inside a subquery (always parenthesized in this dialect) or inside a
+    quoted string cannot be mistaken for the statement's own.
+    """
+    upper = sql.upper()
+    index, depth, length = 0, 0, len(sql)
+    while index < length:
+        char = sql[index]
+        if char == "'":
+            index += 1
+            while index < length:
+                if sql[index] == "'":
+                    if index + 1 < length and sql[index + 1] == "'":
+                        index += 2
+                        continue
+                    break
+                index += 1
+        elif char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        elif (depth == 0 and upper.startswith("WHERE", index)
+              and (index == 0 or not (sql[index - 1].isalnum()
+                                      or sql[index - 1] == "_"))
+              and (index + 5 == length
+                   or not (sql[index + 5].isalnum() or sql[index + 5] == "_"))):
+            return sql[index + 5:].strip() or None
+        index += 1
+    return None
+
+
+def _probe_sql(table: str, column: str, sql: str) -> str:
+    where = _where_text(sql)
+    suffix = f" WHERE {where}" if where else ""
+    return (f"SELECT {column} AS s, COUNT(*) AS n FROM {table}"
+            f"{suffix} GROUP BY {column}")
+
+
+def _default_state(table: str, column: str) -> Optional[str]:
+    for table_def in TABLE_DEFS:
+        if table_def.name == table:
+            col = table_def.column(column)
+            return col.default if col.has_default else None
+    return None
+
+
+def _to_fields(expr: Any) -> Dict[str, Any]:
+    """How a SET/VALUES expression determines the target state."""
+    if isinstance(expr, sp.Lit):
+        return {"to_state": str(expr.value)}
+    if isinstance(expr, sp.Param):
+        if expr.index is not None:
+            return {"to_param": expr.index}
+        return {"to_named": expr.name}
+    return {}  # dynamic expression: target unknown lexically
+
+
+@lru_cache(maxsize=1024)
+def transition_spec(sql: str) -> Optional[TransitionSpec]:
+    """The :class:`TransitionSpec` for ``sql``, or None.
+
+    None means the statement is irrelevant to every lifecycle machine:
+    it does not parse, targets a non-lifecycle table, or is an UPDATE
+    that never touches the state column.
+    """
+    try:
+        ast = sp.parse(sql)
+    except Exception:
+        return None
+    if isinstance(ast, sp.Update):
+        lifecycle = LIFECYCLES.get(ast.table)
+        if lifecycle is None:
+            return None
+        column = lifecycle.column
+        assignment = next(
+            (expr for name, expr in ast.sets if name == column), None)
+        if assignment is None:
+            return None
+        return TransitionSpec(
+            table=ast.table,
+            verb="UPDATE",
+            guard_states=_guard_literals(ast.where, ast.table, column),
+            probe_sql=_probe_sql(ast.table, column, sql),
+            probe_param_start=_positional_params(
+                *(expr for _, expr in ast.sets)),
+            **_to_fields(assignment),
+        )
+    if isinstance(ast, sp.Delete):
+        lifecycle = LIFECYCLES.get(ast.table)
+        if lifecycle is None:
+            return None
+        column = lifecycle.column
+        return TransitionSpec(
+            table=ast.table,
+            verb="DELETE",
+            to_state=GONE,
+            guard_states=_guard_literals(ast.where, ast.table, column),
+            probe_sql=_probe_sql(ast.table, column, sql),
+        )
+    if isinstance(ast, sp.Insert):
+        lifecycle = LIFECYCLES.get(ast.table)
+        if lifecycle is None:
+            return None
+        column = lifecycle.column
+        if ast.select is not None:
+            return None  # INSERT..SELECT: per-row states not resolvable
+        fields: Dict[str, Any] = {}
+        if ast.columns and column in ast.columns:
+            fields = _to_fields(ast.values[ast.columns.index(column)])
+        else:
+            default = _default_state(ast.table, column)
+            if default is not None:
+                fields = {"to_state": str(default)}
+        return TransitionSpec(
+            table=ast.table,
+            verb="INSERT",
+            or_ignore=ast.or_ignore,
+            **fields,
+        )
+    return None

@@ -118,6 +118,9 @@ class PoolWebSite:
         durability_report = self._durability_report()
         if durability_report:
             report += "\n\n" + durability_report
+        transitions_report = self._transitions_report()
+        if transitions_report:
+            report += "\n\n" + transitions_report
         report += "\n\n" + self._caches_report()
         explain_report = self._hot_plan_report()
         if explain_report:
@@ -160,6 +163,27 @@ class PoolWebSite:
                 f"{recovery.tail_bytes_dropped} tail bytes dropped"
             )
         return report
+
+    def _transitions_report(self) -> Optional[str]:
+        """The runtime lifecycle-transition ledger, per table and edge.
+
+        The operational face of the static lifecycle graphs: every
+        ``from->to`` edge the storage layer attributed to this store's
+        workload, with affected-row counts.  A tier-1 test asserts the
+        edges shown here are always a subset of the declared machines.
+        """
+        transitions = self.reports.db.counts.transitions
+        rows = []
+        for table in sorted(transitions):
+            for edge, affected in sorted(transitions[table].items()):
+                source, target = edge.split("->", 1)
+                rows.append([table, source, target, affected])
+        if not rows:
+            return None
+        return ascii_table(
+            ["table", "from", "to", "rows"], rows,
+            title="Lifecycle Transitions (observed)",
+        )
 
     def _caches_report(self) -> str:
         """The two statement-text LRUs side by side: the container's

@@ -19,7 +19,7 @@ import json
 from pathlib import Path
 
 from repro.cluster import JobSpec
-from repro.condorj2.analysis import Baseline, Catalog, analyze
+from repro.condorj2.analysis import RULES, Baseline, Catalog, analyze
 from repro.condorj2.analysis.check import check_extracted
 from repro.condorj2.analysis.cli import main
 from repro.condorj2.analysis.extract import (
@@ -79,10 +79,13 @@ def test_tree_is_clean_against_committed_baseline():
 
 
 def test_baseline_only_contains_advice():
-    """Accepted debt is bounded identifier templates, nothing worse."""
+    """Accepted debt is advisory-severity only — identifier templates
+    and lifecycle-coverage advisories, never errors or warnings."""
     data = json.loads(BASELINE_PATH.read_text())
+    assert data["findings"], "baseline unexpectedly empty"
     for entry in data["findings"]:
-        assert entry["fingerprint"].startswith("templated-sql|")
+        rule = entry["fingerprint"].split("|", 1)[0]
+        assert RULES[rule][0] == "advice", entry["fingerprint"]
 
 
 # ----------------------------------------------------------------------

@@ -35,6 +35,9 @@ INT_FIELDS = tuple(
     f.name for f in dataclasses.fields(StatementCounts) if f.type == "int"
 )
 
+_EDGES = ("(new)->idle", "idle->matched", "matched->running",
+          "running->(gone)", "alive->missing")
+
 counts_strategy = st.builds(
     StatementCounts,
     tables=st.dictionaries(
@@ -42,6 +45,12 @@ counts_strategy = st.builds(
         st.dictionaries(st.sampled_from(_VERBS), st.integers(1, 100),
                         min_size=1),
         max_size=4,
+    ),
+    transitions=st.dictionaries(
+        st.sampled_from(_TABLES),
+        st.dictionaries(st.sampled_from(_EDGES), st.integers(1, 100),
+                        min_size=1),
+        max_size=3,
     ),
     **{name: st.integers(0, 1000) for name in INT_FIELDS},
 )
@@ -53,9 +62,14 @@ def _canonical(counts):
         table: {verb: n for verb, n in verbs.items() if n}
         for table, verbs in counts.tables.items()
     }
+    transitions = {
+        table: {edge: n for edge, n in edges.items() if n}
+        for table, edges in counts.transitions.items()
+    }
     return (
         tuple(getattr(counts, name) for name in INT_FIELDS),
         {table: verbs for table, verbs in tables.items() if verbs},
+        {table: edges for table, edges in transitions.items() if edges},
     )
 
 
@@ -107,7 +121,17 @@ def test_snapshot_is_independent(a):
     assert _canonical(snap) == _canonical(a)
     a.record("INSERT", 3)
     a.record_table("jobs", "INSERT", 3)
+    a.record_transition("jobs", "(new)", "idle", 3)
     assert _canonical(snap) != _canonical(a)
+
+
+def test_record_transition_accumulates_and_ignores_nonpositive():
+    counts = StatementCounts()
+    counts.record_transition("jobs", "idle", "matched", 2)
+    counts.record_transition("jobs", "idle", "matched")
+    counts.record_transition("jobs", "matched", "running", 0)
+    counts.record_transition("vms", "idle", "claiming", -1)
+    assert counts.transitions == {"jobs": {"idle->matched": 3}}
 
 
 @settings(max_examples=100, deadline=None)

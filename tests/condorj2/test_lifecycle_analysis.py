@@ -1,0 +1,296 @@
+"""Tier-1 tests for the lifecycle/transaction analysis tier.
+
+Four properties are enforced here:
+
+* **static soundness** — an unmutated copy of the service layer yields
+  zero lifecycle/transaction errors, and the interprocedural protection
+  fixpoint reaches the verdicts the code is written against
+  (``record_boot``/``change_value`` are protected by their callers);
+* **sensitivity** — seeded mutations (an illegal transition target, a
+  stripped state guard, a transition split across two transaction
+  scopes) are each caught by exactly the intended rule with exact
+  file:line provenance;
+* **runtime cross-check** — a full service workload's observed
+  transition ledger is a subset of the declared lifecycle graphs on all
+  three storage backends, the ledgers agree across backends, and the
+  coverage report walks a meaningful share of the declared edges;
+* **CLI surface** — ``--report transitions`` emits the per-table graph
+  in text and JSON and ``--dot`` writes Graphviz output.
+"""
+
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.cluster import JobSpec
+from repro.condorj2.analysis import analyze
+from repro.condorj2.analysis.cli import main
+from repro.condorj2.analysis.lifecycle import transition_coverage
+from repro.condorj2.analysis.txn import build_txn_model
+from repro.condorj2.beans import BeanContainer
+from repro.condorj2.database import Database
+from repro.condorj2.datamgmt import DatasetService
+from repro.condorj2.logic import (
+    HeartbeatService,
+    LifecycleService,
+    SchedulingService,
+    SubmissionService,
+)
+from repro.condorj2.schema import LIFECYCLES
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+PACKAGE_ROOT = REPO_ROOT / "src" / "repro" / "condorj2"
+
+
+# ----------------------------------------------------------------------
+# static tier: seeded mutations into a copy of the service layer
+# ----------------------------------------------------------------------
+
+def _copy_logic(tmp_path):
+    """An analyzable tree holding a private copy of ``logic/``."""
+    root = tmp_path / "tree"
+    shutil.copytree(PACKAGE_ROOT / "logic", root / "logic")
+    return root
+
+
+def _mutate(root, old, new, filename="logic/lifecycle.py"):
+    target = root / filename
+    text = target.read_text()
+    assert old in text, f"mutation anchor not found: {old!r}"
+    target.write_text(text.replace(old, new))
+
+
+def _line_of(root, needle, filename="logic/lifecycle.py"):
+    """1-based line of ``needle`` — keeps assertions drift-proof."""
+    lines = (root / filename).read_text().splitlines()
+    hits = [index for index, line in enumerate(lines, 1) if needle in line]
+    assert len(hits) == 1, f"{needle!r} matched lines {hits}"
+    return hits[0]
+
+
+def _error_sites(root):
+    _corpus, findings = analyze(root)
+    return {(f.rule, f.file, f.line) for f in findings
+            if f.severity == "error"}
+
+
+def test_unmutated_service_copy_is_clean(tmp_path):
+    assert _error_sites(_copy_logic(tmp_path)) == set()
+
+
+def test_seeded_illegal_transition_is_caught(tmp_path):
+    """acceptMatch retargeted to 'completed' under the 'matched' guard."""
+    root = _copy_logic(tmp_path)
+    _mutate(root, "SET state = 'running', attempts",
+            "SET state = 'completed', attempts")
+    line = _line_of(root, "updated = self.container.db.execute(")
+    assert ("illegal-transition", "logic/lifecycle.py", line) \
+        in _error_sites(root)
+
+
+def test_seeded_unguarded_state_write_is_caught(tmp_path):
+    """The VM claim stripped of its state guard writes blind."""
+    root = _copy_logic(tmp_path)
+    _mutate(root, "WHERE vm_id = ? AND state = 'idle'", "WHERE vm_id = ?")
+    line = _line_of(root, "claimed = self.container.db.execute(")
+    assert ("unguarded-state-write", "logic/lifecycle.py", line) \
+        in _error_sites(root)
+
+
+_SPLIT_FUNCTION = '''
+
+def requeue_job_split(container, job_id, now):
+    """Seeded defect: the transition and its cleanup commit separately."""
+    with container.db.transaction():
+        container.db.execute(  # seeded-split-write
+            "UPDATE jobs SET state = 'idle' "
+            "WHERE job_id = ? AND state IN ('matched', 'running')",
+            (job_id,),
+        )
+    with container.db.transaction():
+        container.db.execute(
+            "DELETE FROM matches WHERE job_id = ?", (job_id,)
+        )
+'''
+
+
+def test_seeded_cross_commit_transition_split_is_caught(tmp_path):
+    root = _copy_logic(tmp_path)
+    target = root / "logic" / "lifecycle.py"
+    target.write_text(target.read_text() + _SPLIT_FUNCTION)
+    line = _line_of(root, "# seeded-split-write")
+    assert ("txn-split-transition", "logic/lifecycle.py", line) \
+        in _error_sites(root)
+
+
+_UNPROTECTED_FIXTURE = '''\
+class BrokenService:
+    """Seeded defect: two-table requeue with no transaction scope."""
+
+    def __init__(self, container):
+        self.container = container
+
+    def requeue(self, job_id, now):
+        self.container.db.execute(  # seeded-unprotected-write
+            "DELETE FROM runs WHERE job_id = ?", (job_id,))
+        self.container.db.execute(
+            "UPDATE jobs SET state = 'idle' "
+            "WHERE job_id = ? AND state IN ('matched', 'running')",
+            (job_id,),
+        )
+'''
+
+
+def test_seeded_unprotected_multi_table_write_is_caught(tmp_path):
+    root = _copy_logic(tmp_path)
+    (root / "logic" / "broken.py").write_text(_UNPROTECTED_FIXTURE)
+    line = _line_of(root, "# seeded-unprotected-write",
+                    filename="logic/broken.py")
+    assert ("txn-unprotected-write", "logic/broken.py", line) \
+        in _error_sites(root)
+
+
+# ----------------------------------------------------------------------
+# static tier: interprocedural protection on the real tree
+# ----------------------------------------------------------------------
+
+def test_txn_model_protection_fixpoint_on_real_tree():
+    model = build_txn_model(PACKAGE_ROOT)
+    protected = {
+        "beans/entities.py:MachineBean.record_boot",
+        "beans/entities.py:PolicyBean.change_value",
+        "logic/heartbeat.py:HeartbeatService._apply_events",
+    }
+    for qualname in protected:
+        assert model.protected[qualname], qualname
+    # Service entry points have no resolvable callers: they must carry
+    # their own scopes, and the fixpoint must not assume otherwise.
+    accept = "logic/lifecycle.py:LifecycleService.accept_match"
+    assert model.protected.get(accept) is False
+    assert model.exposure[accept] == set()
+
+
+# ----------------------------------------------------------------------
+# runtime cross-check: observed transitions ⊆ declared graphs
+# ----------------------------------------------------------------------
+
+def _drive_workload(db):
+    """Every lifecycle table through its paces, services only."""
+    container = BeanContainer(db)
+    submission = SubmissionService(container)
+    scheduling = SchedulingService(container)
+    lifecycle = LifecycleService(container)
+    heartbeat = HeartbeatService(container, scheduling, lifecycle)
+    datasets = DatasetService(container)
+
+    now = 1000.0
+    heartbeat.register_machine({"name": "m00", "vm_count": 2}, now)
+    heartbeat.register_machine({"name": "m01", "vm_count": 1}, now)
+    submission.submit_jobs(
+        [JobSpec(owner="alice", run_seconds=5.0) for _ in range(3)], now)
+    scheduling.run_pass(now)
+    pending = scheduling.pending_matches_for_machine("m00")
+    pending += scheduling.pending_matches_for_machine("m01")
+    assert pending, "workload produced no matches"
+    for row in pending:
+        lifecycle.accept_match(row["job_id"], row["vm_id"], now + 1)
+
+    done = pending[0]
+    machine = done["vm_id"].split("@", 1)[1]
+    heartbeat.process(
+        {"machine": machine, "vms": [],
+         "events": [{"kind": "started", "job_id": done["job_id"],
+                     "vm_id": done["vm_id"]}]}, now + 5)
+    heartbeat.process(
+        {"machine": machine, "vms": [],
+         "events": [{"kind": "completed", "job_id": done["job_id"],
+                     "vm_id": done["vm_id"]}]}, now + 10)
+    if len(pending) > 1:
+        lifecycle.report_drop(pending[1]["job_id"], pending[1]["vm_id"],
+                              now + 11, reason="test-drop")
+    heartbeat.mark_missing_machines(now + 500, timeout_seconds=60.0)
+    heartbeat.process({"machine": "m01", "vms": [], "events": []}, now + 600)
+
+    dataset = datasets.register_dataset("genome", "alice", 10.0, now)
+    datasets.add_replica(dataset, "m00", now)
+    datasets.add_replica(dataset, "m01", now, state="transferring")
+    datasets.invalidate_replica(dataset, "m00")
+    return {table: dict(edges)
+            for table, edges in db.counts.transitions.items()}
+
+
+def _backend_db(backend, tmp_path):
+    if backend == "wal":
+        return Database(path=str(tmp_path / "pool-wal"), backend="wal")
+    if backend == "sqlite":
+        return Database()
+    return Database(backend="memory")
+
+
+@pytest.mark.parametrize("backend", ["sqlite", "memory", "wal"])
+def test_observed_transitions_subset_of_declared(backend, tmp_path):
+    db = _backend_db(backend, tmp_path)
+    try:
+        observed = _drive_workload(db)
+    finally:
+        db.close()
+    assert observed, "workload recorded no transitions"
+    for table, edges in observed.items():
+        lifecycle = LIFECYCLES[table]
+        for edge, rows in edges.items():
+            source, target = edge.split("->", 1)
+            assert rows > 0, (table, edge)
+            assert lifecycle.allows(source, target), (
+                f"{table}: observed {edge} not in the declared lifecycle")
+    report = transition_coverage(observed)
+    assert all(entry["illegal"] == [] for entry in report.values())
+    # The workload is rich enough to be a meaningful cross-check.
+    assert len(report["jobs"]["covered"]) >= 4
+    assert len(report["vms"]["covered"]) >= 3
+    assert ("missing", "alive") in report["machines"]["covered"]
+    assert ("valid", "stale") in report["dataset_replicas"]["covered"]
+
+
+def test_transition_ledger_is_backend_invariant(tmp_path):
+    """The differential contract extends to the transitions ledger."""
+    ledgers = {}
+    for backend in ("sqlite", "memory", "wal"):
+        db = _backend_db(backend, tmp_path)
+        try:
+            ledgers[backend] = _drive_workload(db)
+        finally:
+            db.close()
+    assert ledgers["sqlite"] == ledgers["memory"] == ledgers["wal"]
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+
+def test_cli_transitions_report(tmp_path, capsys):
+    out = tmp_path / "graph.json"
+    dot = tmp_path / "graph.dot"
+    code = main(["--report", "transitions",
+                 "--output", str(out), "--dot", str(dot)])
+    assert code == 0
+    text = capsys.readouterr().out
+    assert "jobs (state)" in text
+    assert "idle -> matched" in text
+    document = json.loads(out.read_text())
+    tables = {entry["table"] for entry in document["tables"]}
+    assert tables == {"jobs", "machines", "vms", "dataset_replicas"}
+    jobs = next(entry for entry in document["tables"]
+                if entry["table"] == "jobs")
+    implied = {(e["from"], e["to"]) for e in jobs["implied"]}
+    assert ("matched", "running") in implied
+    dot_text = dot.read_text()
+    assert dot_text.startswith("digraph lifecycles")
+    assert '"jobs.matched" -> "jobs.running"' in dot_text
+
+
+def test_cli_transitions_json_format(capsys):
+    assert main(["--report", "transitions", "--format", "json"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["version"] == 1

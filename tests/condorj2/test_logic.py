@@ -185,6 +185,44 @@ def test_accept_match_unknown_pair_raises(services):
         lifecycle.accept_match(999, "vm0@nowhere", now=0.0)
 
 
+def test_accept_match_rejects_job_not_in_matched_state(services):
+    """The jobs guard is a lifecycle check, and its failure is atomic:
+    the match and run tuples written earlier in the transaction roll
+    back (the paper's footnote-7 guarantee)."""
+    container = services[0]
+    lifecycle = services[3]
+    job_id, vm_id = full_cycle(services)
+    container.db.execute(
+        "UPDATE jobs SET state = 'idle' "
+        "WHERE job_id = ? AND state = 'matched'",
+        (job_id,),
+    )
+    with pytest.raises(BeanStateError, match="illegal transition to 'running'"):
+        lifecycle.accept_match(job_id, vm_id, now=2.0)
+    assert container.db.table_count("matches") == 1
+    assert container.db.table_count("runs") == 0
+    job = container.db.query_one(
+        "SELECT state FROM jobs WHERE job_id = ?", (job_id,))
+    assert job["state"] == "idle"
+
+
+def test_accept_match_rejects_non_idle_vm(services):
+    container = services[0]
+    lifecycle = services[3]
+    job_id, vm_id = full_cycle(services)
+    container.db.execute(
+        "UPDATE vms SET state = 'offline' WHERE vm_id = ? AND state = 'idle'",
+        (vm_id,),
+    )
+    with pytest.raises(BeanStateError, match="cannot claim a non-idle slot"):
+        lifecycle.accept_match(job_id, vm_id, now=2.0)
+    # The whole acceptMatch rolled back: the job is still matched.
+    job = container.db.query_one(
+        "SELECT state FROM jobs WHERE job_id = ?", (job_id,))
+    assert job["state"] == "matched"
+    assert container.db.table_count("matches") == 1
+
+
 def test_complete_job_performs_post_execution_processing(services):
     container = services[0]
     lifecycle = services[3]
@@ -316,6 +354,41 @@ def test_mark_missing_machines(services):
     states = {r["machine_name"]: r["state"] for r in
               container.db.query_all("SELECT machine_name, state FROM machines")}
     assert states == {"m1": "missing", "m2": "alive"}
+
+
+def test_heartbeat_revives_missing_machine(services):
+    container = services[0]
+    heartbeat = services[4]
+    register_machine(heartbeat, "m1", now=0.0)
+    heartbeat.mark_missing_machines(now=1000.0, timeout_seconds=900.0)
+    heartbeat.process({"machine": "m1", "vms": [], "events": []}, now=1001.0)
+    machine = container.db.query_one("SELECT state FROM machines")
+    assert machine["state"] == "alive"
+
+
+def test_heartbeat_unknown_machine_raises(services):
+    heartbeat = services[4]
+    with pytest.raises(BeanNotFound):
+        heartbeat.process({"machine": "ghost", "vms": [], "events": []},
+                          now=1.0)
+
+
+def test_heartbeat_cannot_revive_quarantined_machine(services):
+    """An operator 'offline' is sticky: the refresh guard rejects the
+    beat instead of silently resurrecting the machine."""
+    container = services[0]
+    heartbeat = services[4]
+    register_machine(heartbeat, "m1", now=0.0)
+    container.db.execute(
+        "UPDATE machines SET state = 'offline' "
+        "WHERE machine_name = ? AND state IN ('alive', 'missing')",
+        ("m1",),
+    )
+    with pytest.raises(BeanStateError, match="offline"):
+        heartbeat.process({"machine": "m1", "vms": [], "events": []},
+                          now=5.0)
+    machine = container.db.query_one("SELECT state FROM machines")
+    assert machine["state"] == "offline"
 
 
 # ----------------------------------------------------------------------

@@ -90,3 +90,20 @@ def test_statistics_page_durability_panel(stack):
         assert str(stats["appends"]) in page
     else:
         assert "Durability" not in page
+
+
+def test_statistics_page_transition_ledger_panel(stack):
+    """The statistics page renders the runtime transition ledger (the
+    observed lifecycle edges) next to the durability panel."""
+    container, submission, scheduling, heartbeat, site = stack
+    assert "Lifecycle Transitions" not in site.statistics_page()
+    heartbeat.register_machine({"name": "m1", "vm_count": 1}, 0.0)
+    submission.submit_jobs([JobSpec(owner="alice")], now=1.0)
+    scheduling.run_pass(now=2.0)
+    page = site.statistics_page()
+    assert "Lifecycle Transitions (observed)" in page
+    assert "(new)" in page  # creation edges out of the BORN pseudo-state
+    edges = container.db.counts.transitions
+    assert edges["jobs"].get("(new)->idle") == 1
+    assert edges["jobs"].get("idle->matched") == 1
+    assert edges["machines"].get("(new)->alive") == 1
