@@ -8,12 +8,18 @@ against the declared schema with the engines' own parser
 (:mod:`check`), applies the planner's costing rules to flag
 index-less equality access (:mod:`advisor`), reasons across statements
 about declared lifecycles (:mod:`lifecycle`) and transaction
-boundaries (:mod:`txn`), and gates CI on the result (:mod:`cli`,
+boundaries (:mod:`txn`), proves the dispatch complexity of every call
+site so the contracts' declared statement budgets are consistent with
+the code (:mod:`dispatch`), and gates CI on the result (:mod:`cli`,
 ``python -m repro.condorj2.analysis``).
 """
 
 from repro.condorj2.analysis.check import Catalog, check_extracted
 from repro.condorj2.analysis.cli import analyze, main
+from repro.condorj2.analysis.dispatch import (
+    DeclaredBudget, DispatchModel, budgets_report, build_dispatch_model,
+    check_dispatch,
+)
 from repro.condorj2.analysis.extract import (
     Corpus, ExtractedStatement, SqlTemplate, extract_corpus,
 )
@@ -32,6 +38,8 @@ __all__ = [
     "Baseline",
     "Catalog",
     "Corpus",
+    "DeclaredBudget",
+    "DispatchModel",
     "ExtractedStatement",
     "Finding",
     "RULES",
@@ -40,8 +48,11 @@ __all__ = [
     "TableGraph",
     "TxnModel",
     "analyze",
+    "budgets_report",
+    "build_dispatch_model",
     "build_graphs",
     "build_txn_model",
+    "check_dispatch",
     "check_extracted",
     "check_lifecycles",
     "check_transactions",

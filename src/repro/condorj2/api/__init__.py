@@ -20,6 +20,7 @@ from repro.condorj2.api.contracts import (
     CONTRACTS,
     ContractRegistry,
     OperationContract,
+    StatementBudget,
 )
 from repro.condorj2.api.faults import (
     FAULT_CODES,
@@ -52,6 +53,7 @@ __all__ = [
     "InternalFault",
     "MalformedFault",
     "OperationContract",
+    "StatementBudget",
     "OperationStats",
     "SchemaDef",
     "ServiceFault",

@@ -39,6 +39,41 @@ HEARTBEAT_EVENT_KINDS = ("completed", "dropped", "started")
 
 
 @dataclass(frozen=True)
+class StatementBudget:
+    """Upper bound on statement dispatches for one operation call.
+
+    ``limit = base + per_item * |payload[batch_field]|``.  A budget with
+    ``per_item == 0`` is *constant* — the paper's O(1)-statements-per-
+    interaction claim, made enforceable: the gateway meters every call
+    against it, and the dispatch-complexity analyzer
+    (:mod:`repro.condorj2.analysis.dispatch`) cross-checks that a
+    constant budget is only ever declared on a handler it can prove
+    dispatches O(1) statements (DESIGN.md section 9.2).
+    """
+
+    base: int
+    per_item: int = 0
+    batch_field: Optional[str] = None
+
+    def batch_size(self, payload: Any) -> int:
+        """Length of the request list the affine term scales with."""
+        if self.batch_field is None:
+            return 0
+        try:
+            return len(payload.get(self.batch_field) or ())
+        except (TypeError, AttributeError):
+            return 0
+
+    def limit(self, batch_size: int = 0) -> int:
+        return self.base + self.per_item * batch_size
+
+    def render(self) -> str:
+        if self.per_item == 0:
+            return str(self.base)
+        return f"{self.base} + {self.per_item}·|{self.batch_field}|"
+
+
+@dataclass(frozen=True)
 class OperationContract:
     """One operation's public contract, as pure data."""
 
@@ -54,6 +89,9 @@ class OperationContract:
     #: naming the value a sharded deployment would route on; None means
     #: the operation is shard-agnostic (pure reads over the whole pool).
     routing_key: Optional[str] = None
+    #: Declared ceiling on statement dispatches per call; None means
+    #: unmetered (the analyzer's ``budget-undeclared`` advisory).
+    statement_budget: Optional[StatementBudget] = None
 
     def routing_key_value(self, payload: Any) -> Any:
         """Extract the routing-key value from a request payload.
@@ -133,7 +171,7 @@ _HEARTBEAT_RESPONSE = SchemaDef(
 
 def _contract(name, version, summary, side_effect, request_fields,
               response, batchable=True, routing_key=None,
-              request_allow_extra=False):
+              request_allow_extra=False, statement_budget=None):
     return OperationContract(
         name=name,
         version=version,
@@ -144,6 +182,7 @@ def _contract(name, version, summary, side_effect, request_fields,
         response=response,
         batchable=batchable,
         routing_key=routing_key,
+        statement_budget=statement_budget,
     )
 
 
@@ -168,6 +207,7 @@ CONTRACTS: Tuple[OperationContract, ...] = (
         # must not be reordered against other ops in one envelope.
         batchable=False,
         routing_key="name",
+        statement_budget=StatementBudget(12),
     ),
     _contract(
         "heartbeat", "1.1",
@@ -197,6 +237,7 @@ CONTRACTS: Tuple[OperationContract, ...] = (
         ),
         _HEARTBEAT_RESPONSE,
         routing_key="machine",
+        statement_budget=StatementBudget(28),
     ),
     _contract(
         "acceptMatch", "1.1",
@@ -210,6 +251,7 @@ CONTRACTS: Tuple[OperationContract, ...] = (
             f_str("vm_id"),
         )),
         routing_key="vm_id",
+        statement_budget=StatementBudget(10),
     ),
     _contract(
         "beginExecute", "1.1",
@@ -218,6 +260,7 @@ CONTRACTS: Tuple[OperationContract, ...] = (
         (f_str("machine"), f_int("job_id"), f_str("vm_id")),
         _STATUS_ONLY,
         routing_key="machine",
+        statement_budget=StatementBudget(10),
     ),
     _contract(
         "reportDrop", "1.0",
@@ -231,6 +274,7 @@ CONTRACTS: Tuple[OperationContract, ...] = (
         ),
         _STATUS_ONLY,
         routing_key="vm_id",
+        statement_budget=StatementBudget(8),
     ),
     # -- client-facing services -----------------------------------------
     _contract(
@@ -243,6 +287,7 @@ CONTRACTS: Tuple[OperationContract, ...] = (
             f_int("job_id"),
         )),
         routing_key="owner",
+        statement_budget=StatementBudget(6),
     ),
     _contract(
         "submitJobs", "1.0",
@@ -254,6 +299,7 @@ CONTRACTS: Tuple[OperationContract, ...] = (
             f_list("job_ids", f_int("job_id")),
         )),
         routing_key="jobs[0].owner",
+        statement_budget=StatementBudget(8),
     ),
     _contract(
         "removeJob", "1.0",
@@ -262,6 +308,7 @@ CONTRACTS: Tuple[OperationContract, ...] = (
         (f_int("job_id"),),
         _STATUS_ONLY,
         routing_key="job_id",
+        statement_budget=StatementBudget(8),
     ),
     _contract(
         "queueSummary", "1.0",
@@ -269,6 +316,7 @@ CONTRACTS: Tuple[OperationContract, ...] = (
         "read",
         (),
         SchemaDef("QueueSummaryResponse", map_item=f_int("n")),
+        statement_budget=StatementBudget(3),
     ),
     _contract(
         "poolStatus", "1.0",
@@ -283,6 +331,7 @@ CONTRACTS: Tuple[OperationContract, ...] = (
             f_int("matches_pending"),
             f_int("runs_in_flight"),
         )),
+        statement_budget=StatementBudget(8),
     ),
     _contract(
         "userSummary", "1.0",
@@ -297,6 +346,7 @@ CONTRACTS: Tuple[OperationContract, ...] = (
             f_float("usage_seconds"),
         )),
         routing_key="owner",
+        statement_budget=StatementBudget(6),
     ),
     _contract(
         "jobDetail", "1.0",
@@ -307,6 +357,7 @@ CONTRACTS: Tuple[OperationContract, ...] = (
             f_str("source", enum=("queue", "history")),
         ), allow_extra=True, nullable=True),
         routing_key="job_id",
+        statement_budget=StatementBudget(5),
     ),
     _contract(
         "setPolicy", "1.0",
@@ -318,6 +369,7 @@ CONTRACTS: Tuple[OperationContract, ...] = (
             f_str("changed_by", required=False, default="admin"),
         ),
         _STATUS_ONLY,
+        statement_budget=StatementBudget(8),
     ),
     _contract(
         "getPolicy", "1.0",
@@ -328,6 +380,7 @@ CONTRACTS: Tuple[OperationContract, ...] = (
             f_str("name"),
             f_str("value", nullable=True),
         )),
+        statement_budget=StatementBudget(3),
     ),
 )
 

@@ -78,6 +78,8 @@ FAULT_SUBCODES: Dict[str, Dict[str, str]] = {
         "server-error": "unclassified server-side failure",
         "transport": "the RPC transport failed",
         "response-validation": "a handler response failed its own schema",
+        "budget-exceeded": "observed statement dispatches exceeded the "
+                           "operation's declared budget",
     },
 }
 

@@ -73,6 +73,12 @@ class OperationStats:
     #: Storage-engine work attributed to this operation.
     statements: int = 0
     row_work: int = 0
+    #: Most statements any single call of this operation dispatched —
+    #: the observed peak the declared budget must dominate.
+    max_statements: int = 0
+    #: Calls whose dispatch count exceeded the contract's declared
+    #: ``statement_budget`` (each also raised INTERNAL/budget-exceeded).
+    budget_overruns: int = 0
 
     @property
     def fault_rate(self) -> float:
@@ -216,8 +222,9 @@ class ServiceGateway:
         stats.calls += 1
         snapshot = self.counts.snapshot() if self.counts is not None else None
         started = self.clock()
+        dispatched = 0
         try:
-            return nxt(invocation)
+            result = nxt(invocation)
         except ServiceFault as fault:
             stats.faults += 1
             stats.fault_codes[fault.code] = (
@@ -231,7 +238,10 @@ class ServiceGateway:
                                             elapsed)
             if snapshot is not None:
                 delta = self.counts.delta(snapshot)
+                dispatched = delta.statements
                 stats.statements += delta.statements
+                stats.max_statements = max(stats.max_statements,
+                                           delta.statements)
                 stats.row_work += delta.total()
                 if self.costs is not None:
                     stats.sim_seconds += (
@@ -239,6 +249,41 @@ class ServiceGateway:
                         + self.costs.sql_cost_seconds(delta)
                         + self.costs.io_cost_seconds(delta)
                     )
+        # Enforced on the success path only, after the finally block:
+        # raising from inside `finally` would swallow a handler fault,
+        # and a faulted call already reports its own (likelier root)
+        # cause.
+        self._enforce_budget(invocation, stats, dispatched)
+        return result
+
+    def _enforce_budget(self, invocation: Invocation,
+                        stats: OperationStats, dispatched: int) -> None:
+        """Assert the observed dispatch count against the declared budget.
+
+        This is the runtime half of the dispatch-complexity story
+        (DESIGN.md section 9.2): the analyzer proves the handler's
+        complexity class matches the budget's *shape*; the meter asserts
+        the *constant* on every live call, on whichever storage engine
+        is wired in.
+        """
+        budget = invocation.contract.statement_budget
+        if budget is None or self.counts is None:
+            return
+        limit = budget.limit(budget.batch_size(invocation.payload))
+        if dispatched <= limit:
+            return
+        stats.budget_overruns += 1
+        stats.faults += 1
+        fault = InternalFault(
+            f"{invocation.operation} dispatched {dispatched} statements "
+            f"against a budget of {limit} ({budget.render()})",
+            subcode="budget-exceeded",
+            operation=invocation.operation,
+        )
+        stats.fault_codes[fault.code] = (
+            stats.fault_codes.get(fault.code, 0) + 1
+        )
+        raise fault
 
     def _translate_errors(self, invocation: Invocation, nxt: Stage) -> Any:
         try:

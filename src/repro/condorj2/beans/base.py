@@ -93,8 +93,13 @@ class EntityBean:
         unknown = set(changes) - set(self.FIELDS)
         if unknown:
             raise DatabaseError(f"unknown fields for {self.TABLE}: {sorted(unknown)}")
-        assignments = ", ".join(f"{field} = ?" for field in changes)
-        params = list(changes.values()) + [self.pk_value]
+        # Canonical FIELDS order, not kwargs order: the same change set
+        # always renders the same statement text, so it hits one
+        # prepared-statement-cache entry instead of one per call-site
+        # keyword ordering.
+        ordered = [field for field in self.FIELDS if field in changes]
+        assignments = ", ".join(f"{field} = ?" for field in ordered)
+        params = [changes[field] for field in ordered] + [self.pk_value]
         self.db.execute(
             f"UPDATE {self.TABLE} SET {assignments} WHERE {self.PK} = ?", params
         )

@@ -108,10 +108,27 @@ class DatasetService:
         return [dict(row) for row in rows]
 
     def repair_plan(self, alive_machines: Sequence[str]) -> List[Dict]:
-        """Transfers needed to restore k-safety, avoiding current holders."""
+        """Transfers needed to restore k-safety, avoiding current holders.
+
+        Two statements total, independent of how many data sets are
+        under-replicated: the shortfall query, then *one* set query for
+        every valid replica (grouped in Python) — not one
+        ``replica_machines`` probe per shortfall row.
+        """
         plan: List[Dict] = []
-        for entry in self.under_replicated():
-            holders = set(self.replica_machines(entry["dataset_id"]))
+        shortfalls = self.under_replicated()
+        if not shortfalls:
+            return plan
+        replica_rows = self.container.db.query_all(
+            "SELECT dataset_id, machine_name FROM dataset_replicas "
+            "WHERE state = 'valid' ORDER BY dataset_id, machine_name"
+        )
+        holders_by_dataset: Dict[int, set] = {}
+        for row in replica_rows:
+            holders_by_dataset.setdefault(
+                row["dataset_id"], set()).add(row["machine_name"])
+        for entry in shortfalls:
+            holders = holders_by_dataset.get(entry["dataset_id"], set())
             candidates = [m for m in alive_machines if m not in holders]
             needed = entry["k_safety"] - entry["valid_replicas"]
             for machine in candidates[:needed]:

@@ -185,17 +185,17 @@ class HeartbeatService:
         )
 
     def _apply_events(self, events: Any, now: float) -> None:
-        """Apply embedded job events, batching the completions."""
+        """Apply embedded job events, batching completions and drops."""
         completions: List[Tuple[int, str]] = []
+        drops: List[Tuple[int, str, str]] = []
         started_vms: List[Tuple[float, str]] = []
         for event in events:
             kind = event["kind"]
             if kind == "completed":
                 completions.append((event["job_id"], event["vm_id"]))
             elif kind == "dropped":
-                self.lifecycle.report_drop(
-                    event["job_id"], event["vm_id"], now,
-                    reason=event.get("reason", ""),
+                drops.append(
+                    (event["job_id"], event["vm_id"], event.get("reason", ""))
                 )
             elif kind == "started":
                 # Informational: the job is already 'running' after
@@ -205,6 +205,8 @@ class HeartbeatService:
                 raise ValueError(f"unknown heartbeat event kind {kind!r}")
         if completions:
             self.lifecycle.complete_jobs(completions, now)
+        if drops:
+            self.lifecycle.report_drops(drops, now)
         if started_vms:
             self.container.db.executemany(
                 "UPDATE vms SET state = 'busy', last_update = ? "

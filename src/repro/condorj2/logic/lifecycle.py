@@ -81,20 +81,40 @@ class LifecycleService:
         "Ensuring that the job queue manager does not drop jobs is one
         reason why job management requires transactions."
         """
-        with self.container.db.transaction():
-            self.container.db.execute("DELETE FROM runs WHERE job_id = ?", (job_id,))
-            self.container.db.execute("DELETE FROM matches WHERE job_id = ?", (job_id,))
-            self.container.db.execute(
+        self.report_drops([(job_id, vm_id, reason)], now)
+
+    def report_drops(
+        self, drops: Sequence[Tuple[int, str, str]], now: float
+    ) -> None:
+        """Requeue a batch of dropped ``(job_id, vm_id, reason)`` tuples.
+
+        A heartbeat carries every drop since the last beat, so like
+        :meth:`complete_jobs` this is the primary path: one batched
+        statement per table touched (runs, matches, jobs, vms) — four
+        dispatches for any batch size — all inside one transaction so
+        footnote 7's no-lost-jobs guarantee covers the whole batch.
+        """
+        if not drops:
+            return
+        db = self.container.db
+        job_rows = [(job_id,) for job_id, _vm_id, _reason in drops]
+        with db.transaction():
+            db.executemany("DELETE FROM runs WHERE job_id = ?", job_rows)
+            db.executemany("DELETE FROM matches WHERE job_id = ?", job_rows)
+            db.executemany(
                 "UPDATE jobs SET state = 'idle' "
                 "WHERE job_id = ? AND state IN ('matched', 'running')",
-                (job_id,),
+                job_rows,
             )
-            self.container.db.execute(
+            db.executemany(
                 "UPDATE vms SET state = 'idle', last_update = ? "
                 "WHERE vm_id = ? AND state IN ('claiming', 'busy')",
-                (now, vm_id),
+                [(now, vm_id) for _job_id, vm_id, _reason in drops],
             )
-        self.log.record(now, "job_dropped", job_id=job_id, vm_id=vm_id, reason=reason)
+        for job_id, vm_id, reason in drops:
+            self.log.record(
+                now, "job_dropped", job_id=job_id, vm_id=vm_id, reason=reason
+            )
 
     # ------------------------------------------------------------------
     # completion (steps 14-15) + post-execution processing

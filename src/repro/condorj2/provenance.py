@@ -50,15 +50,8 @@ class ProvenanceService:
             )
             return cursor.lastrowid
 
-    def derivation_of(self, output_name: str) -> Optional[Dict]:
-        """The paper's question: what produced this output?"""
-        row = self.container.db.query_one(
-            "SELECT * FROM provenance WHERE output_name = ? "
-            "ORDER BY prov_id DESC LIMIT 1",
-            (output_name,),
-        )
-        if row is None:
-            return None
+    @staticmethod
+    def _record_from_row(row) -> Dict:
         return {
             "output_name": row["output_name"],
             "job_id": row["job_id"],
@@ -69,24 +62,59 @@ class ProvenanceService:
             "recorded_at": row["recorded_at"],
         }
 
+    def derivation_of(self, output_name: str) -> Optional[Dict]:
+        """The paper's question: what produced this output?"""
+        row = self.container.db.query_one(
+            "SELECT * FROM provenance WHERE output_name = ? "
+            "ORDER BY prov_id DESC LIMIT 1",
+            (output_name,),
+        )
+        if row is None:
+            return None
+        return self._record_from_row(row)
+
+    def derivations_of(self, output_names: Sequence[str]) -> Dict[str, Dict]:
+        """Latest derivation record for each named output, in one query.
+
+        The name set travels as one JSON parameter (constant statement
+        text for any batch size); the ``MAX(prov_id)`` subquery picks the
+        most recent record per output, matching :meth:`derivation_of`.
+        Names with no record are simply absent from the result.
+        """
+        if not output_names:
+            return {}
+        rows = self.container.db.query_all(
+            "SELECT * FROM provenance "
+            "WHERE output_name IN (SELECT value FROM json_each(?)) "
+            "AND prov_id IN (SELECT MAX(prov_id) FROM provenance "
+            "                GROUP BY output_name)",
+            (json.dumps(list(output_names)),),
+        )
+        return {row["output_name"]: self._record_from_row(row) for row in rows}
+
     def lineage(self, output_name: str, max_depth: int = 32) -> List[Dict]:
         """Full ancestry: walk inputs-of-inputs back to source data.
 
         Returns derivation records in breadth-first order starting from
         ``output_name``.  Cycles (which should not happen) are guarded by
-        the visited set and the depth cap.
+        the visited set and the depth cap.  One batched query per BFS
+        *level*, so an ancestry of n records over d levels dispatches d
+        statements, not n.
         """
         results: List[Dict] = []
         visited: Set[str] = set()
         frontier = [output_name]
         depth = 0
-        while frontier and depth < max_depth:
-            next_frontier: List[str] = []
+        while frontier and depth < max_depth:  # dispatch: bounded (depth cap)
+            batch: List[str] = []
             for name in frontier:
-                if name in visited:
-                    continue
-                visited.add(name)
-                record = self.derivation_of(name)
+                if name not in visited:
+                    visited.add(name)
+                    batch.append(name)
+            records = self.derivations_of(batch)
+            next_frontier: List[str] = []
+            for name in batch:
+                record = records.get(name)
                 if record is None:
                     continue
                 results.append(record)

@@ -626,6 +626,27 @@ TABLES = [
     "datasets", "dataset_replicas", "provenance",
 ]
 
+#: Module-level iterables the dispatch-complexity analyzer treats as
+#: O(1)-bounded: their cardinality is fixed by the schema/contract
+#: declarations at import time, never by operational data, so a loop
+#: over one of them (directly, through ``.items()``-style views, or
+#: through a single local rebinding such as ``dict(DEFAULT_POLICIES)``)
+#: contributes nothing to a function's dispatch complexity.  See
+#: ``analysis/dispatch.py`` and DESIGN.md section 9.2.
+BOUNDED_ITERABLES: Tuple[str, ...] = (
+    "TABLE_DEFS",
+    "TABLES",
+    "JOB_STATES",
+    "VM_STATES",
+    "JOB_TRANSITIONS",
+    "LIFECYCLES",
+    "DEFAULT_POLICIES",
+    "HEARTBEAT_EVENT_KINDS",
+    "CONTRACTS",
+    "FAULT_CODES",
+    "SEVERITIES",
+)
+
 #: Job states permitted by the CHECK constraint, mirroring JobState.
 JOB_STATES = ("idle", "matched", "running", "completed", "removed", "held")
 

@@ -46,6 +46,14 @@ class StatementCounts:
     dispatches, ``prepared_misses`` counts statement-cache compilations
     and ``prepared_hits`` counts reuses of an already-prepared statement.
 
+    ``statements`` is also the ledger both halves of the
+    dispatch-complexity story read (DESIGN.md section 9.2): the service
+    gateway meters each call's ``snapshot()``/``delta()`` of it against
+    the contract's declared ``statement_budget``, and the static
+    analyzer (:mod:`repro.condorj2.analysis.dispatch`) proves the
+    handler's dispatch count is flat in the data before trusting a
+    constant budget.
+
     ``tables`` breaks the same traffic down by principal table: per table
     and verb it records *actual* row traffic (rows really written by DML
     — a no-op UPDATE adds zero — and one probe per read dispatch).  The

@@ -128,6 +128,9 @@ class PoolWebSite:
         operations_report = self._operations_report()
         if operations_report:
             report += "\n\n" + operations_report
+        budgets_report = self._budgets_report()
+        if budgets_report:
+            report += "\n\n" + budgets_report
         return report
 
     def _durability_report(self) -> Optional[str]:
@@ -252,4 +255,40 @@ class PoolWebSite:
             ["operation", "calls", "faults", "fault rate", "mean µs",
              "sim s", "stmts", "fault codes"],
             rows, title="Web-Service Operations",
+        )
+
+    def _budgets_report(self) -> Optional[str]:
+        """Declared statement budgets vs observed per-call peaks.
+
+        The admin-console face of DESIGN.md section 9.2: for every
+        operation called so far, the contract's declared dispatch
+        ceiling, the worst single call the meter observed, the remaining
+        headroom, and how many calls blew the budget (each of which also
+        raised ``INTERNAL/budget-exceeded``).
+        """
+        if self.gateway is None or not self.gateway.stats:
+            return None
+        rows = []
+        for operation in sorted(self.gateway.stats):
+            if operation.startswith("("):
+                continue  # protocol pseudo-ops have no contract
+            stats = self.gateway.stats[operation]
+            contract = self.gateway.registry.contract(operation)
+            budget = contract.statement_budget
+            if budget is None:
+                declared, headroom = "(unmetered)", "-"
+            elif budget.per_item:
+                declared, headroom = budget.render(), "affine"
+            else:
+                declared = budget.render()
+                headroom = budget.limit(0) - stats.max_statements
+            rows.append([
+                operation, declared, stats.max_statements, headroom,
+                stats.budget_overruns,
+            ])
+        if not rows:
+            return None
+        return ascii_table(
+            ["operation", "budget", "peak stmts", "headroom", "overruns"],
+            rows, title="Statement Budgets",
         )

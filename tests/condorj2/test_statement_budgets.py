@@ -1,0 +1,191 @@
+"""Tier-1 tests for runtime statement-budget enforcement.
+
+The runtime half of the dispatch-complexity story (DESIGN.md section
+9.2): every operation contract declares a ``statement_budget``, the
+gateway meters each call's share of the storage engine's statement
+ledger against it on all three backends, and an overrun raises a
+structured ``INTERNAL/budget-exceeded`` fault that the per-operation
+stats and the admin console both surface.
+"""
+
+import pytest
+
+from repro.cluster import ClusterSpec, RELIABLE_EXECUTION
+from repro.condorj2 import CondorJ2System
+from repro.condorj2.api import (
+    CONTRACTS,
+    ContractRegistry,
+    FaultCode,
+    InternalFault,
+    OperationContract,
+    StatementBudget,
+)
+from repro.condorj2.api.fields import SchemaDef, f_int, f_list, f_str
+from repro.condorj2.api.gateway import ServiceGateway
+from repro.condorj2.database import Database
+from repro.workload import fixed_length_batch
+
+BACKENDS = ("sqlite", "memory", "wal")
+
+
+# ----------------------------------------------------------------------
+# the contract surface declares budgets everywhere
+# ----------------------------------------------------------------------
+
+def test_every_contract_declares_a_constant_budget():
+    for contract in CONTRACTS:
+        budget = contract.statement_budget
+        assert budget is not None, f"{contract.name} has no budget"
+        # Every handler is statically O(1) (the analyzer proves it), so
+        # every declared budget must be constant.
+        assert budget.per_item == 0, contract.name
+        assert budget.base > 0, contract.name
+
+
+def test_budget_arithmetic_and_rendering():
+    constant = StatementBudget(12)
+    assert constant.limit() == 12
+    assert constant.limit(500) == 12
+    assert constant.render() == "12"
+    assert constant.batch_size({"jobs": [1, 2, 3]}) == 0
+    affine = StatementBudget(4, per_item=2, batch_field="jobs")
+    assert affine.limit(affine.batch_size({"jobs": [1, 2, 3]})) == 10
+    assert affine.batch_size({}) == 0
+    assert affine.batch_size({"jobs": None}) == 0
+    assert affine.batch_size("not a struct") == 0
+    assert affine.render() == "4 + 2·|jobs|"
+
+
+# ----------------------------------------------------------------------
+# enforcement, on every storage backend
+# ----------------------------------------------------------------------
+
+def _probe_gateway(backend, budget):
+    """A one-operation registry whose handler dispatches on demand."""
+    db = Database(backend=backend)
+    contract = OperationContract(
+        name="probe", version="1.0", summary="budget probe",
+        side_effect="read",
+        request=SchemaDef("ProbeRequest", (
+            f_int("statements"),
+            f_list("items", f_int("item"), required=False, default=()),
+        )),
+        response=SchemaDef("ProbeResponse", (f_str("status", enum=("OK",)),)),
+        statement_budget=budget,
+    )
+    registry = ContractRegistry([contract])
+
+    def handler(payload, now):
+        for _ in range(payload["statements"]):
+            db.scalar("SELECT COUNT(*) FROM jobs")
+        return {"status": "OK"}
+
+    registry.bind("probe", handler)
+    return ServiceGateway(registry, counts=db.counts)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_overrun_raises_budget_exceeded(backend):
+    gateway = _probe_gateway(backend, StatementBudget(2))
+    assert gateway.dispatch("probe", {"statements": 2}, 0.0) \
+        == {"status": "OK"}
+    with pytest.raises(InternalFault) as excinfo:
+        gateway.dispatch("probe", {"statements": 3}, 1.0)
+    fault = excinfo.value
+    assert fault.code == FaultCode.INTERNAL
+    assert fault.subcode == "budget-exceeded"
+    assert fault.operation == "probe"
+    assert "3 statements" in fault.detail and "budget of 2" in fault.detail
+    stats = gateway.stats["probe"]
+    assert stats.calls == 2
+    assert stats.budget_overruns == 1
+    assert stats.faults == 1
+    assert stats.fault_codes == {FaultCode.INTERNAL: 1}
+    assert stats.max_statements == 3
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_affine_budget_scales_with_the_declared_batch_field(backend):
+    budget = StatementBudget(1, per_item=1, batch_field="items")
+    gateway = _probe_gateway(backend, budget)
+    # 4 statements against 1 + 1*3 = 4: exactly at the limit, allowed.
+    payload = {"statements": 4, "items": [1, 2, 3]}
+    assert gateway.dispatch("probe", payload, 0.0) == {"status": "OK"}
+    with pytest.raises(InternalFault) as excinfo:
+        gateway.dispatch("probe", {"statements": 4, "items": [1]}, 1.0)
+    assert excinfo.value.subcode == "budget-exceeded"
+    assert gateway.stats["probe"].budget_overruns == 1
+
+
+def test_unmetered_contract_is_never_enforced():
+    gateway = _probe_gateway("memory", None)
+    assert gateway.dispatch("probe", {"statements": 50}, 0.0) \
+        == {"status": "OK"}
+    assert gateway.stats["probe"].budget_overruns == 0
+
+
+def test_handler_faults_are_not_double_counted_as_overruns():
+    db = Database(backend="memory")
+    contract = OperationContract(
+        name="probe", version="1.0", summary="budget probe",
+        side_effect="read",
+        request=SchemaDef("ProbeRequest", ()),
+        response=SchemaDef("ProbeResponse", (f_str("status", enum=("OK",)),)),
+        statement_budget=StatementBudget(1),
+    )
+    registry = ContractRegistry([contract])
+
+    def handler(payload, now):
+        for _ in range(10):
+            db.scalar("SELECT COUNT(*) FROM jobs")
+        raise ValueError("handler bug")
+
+    registry.bind("probe", handler)
+    gateway = ServiceGateway(registry, counts=db.counts)
+    with pytest.raises(Exception) as excinfo:
+        gateway.dispatch("probe", {}, 0.0)
+    # The handler's own fault wins; the budget is only asserted on the
+    # success path (the overrun is the likelier symptom, not the cause).
+    assert getattr(excinfo.value, "subcode", "") != "budget-exceeded"
+    stats = gateway.stats["probe"]
+    assert stats.budget_overruns == 0
+    assert stats.faults == 1
+    assert stats.max_statements == 10
+
+
+# ----------------------------------------------------------------------
+# the real system runs inside its declared budgets
+# ----------------------------------------------------------------------
+
+def _small_system(**kwargs):
+    defaults = dict(
+        cluster=ClusterSpec(physical_nodes=2, vms_per_node=2,
+                            dual_core_fraction=0.0, speed_jitter=0.0),
+        seed=13,
+        execution=RELIABLE_EXECUTION,
+    )
+    defaults.update(kwargs)
+    return CondorJ2System(**defaults)
+
+
+def test_full_workload_stays_inside_every_declared_budget():
+    system = _small_system()
+    system.submit_at(0.0, fixed_length_batch(8, 20.0))
+    system.run_until_complete(expected_jobs=8, max_seconds=3600.0)
+    assert system.completed_count() == 8
+    for operation, stats in system.cas.gateway.stats.items():
+        assert stats.budget_overruns == 0, operation
+        contract = system.cas.gateway.registry.contract(operation)
+        budget = contract.statement_budget
+        assert stats.max_statements <= budget.limit(0), operation
+
+
+def test_statistics_page_shows_budget_headroom_panel():
+    system = _small_system()
+    system.start()
+    system.submit_at(1.0, fixed_length_batch(4, 15.0))
+    system.run_until_complete(expected_jobs=4, max_seconds=600.0)
+    page = system.cas.site.statistics_page()
+    assert "Statement Budgets" in page
+    assert "peak stmts" in page and "headroom" in page and "overruns" in page
+    assert "(malformed)" not in page.split("Statement Budgets", 1)[1]
